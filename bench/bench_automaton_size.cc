@@ -1,0 +1,173 @@
+// Experiment E2 — Proposition 3's size bound:
+//   |A| = O(aU * aFD * |Sigma| * |A_S| * |U| * |FD|).
+// Sweeps each factor independently and reports the measured sizes of the
+// component automata and of the product automaton recognizing L. The shape
+// to observe: the product size grows linearly in each swept factor (and
+// the construction time stays polynomial).
+
+#include <benchmark/benchmark.h>
+
+#include "automata/pattern_compiler.h"
+#include "automata/product.h"
+#include "bench_common.h"
+#include "independence/criterion.h"
+#include "regex/regex.h"
+
+namespace rtp::bench {
+namespace {
+
+using automata::CompilePattern;
+using automata::MarkMode;
+
+regex::Regex MustRegex(Alphabet* alphabet, const std::string& text) {
+  auto re = regex::Regex::Parse(alphabet, text);
+  RTP_CHECK_MSG(re.ok(), re.status().ToString().c_str());
+  return std::move(re).value();
+}
+
+// FD pattern: a chain of `depth` edges with small regexes, two conditions
+// and a target fanned out at the bottom.
+fd::FunctionalDependency ChainFd(Alphabet* alphabet, int depth) {
+  pattern::TreePattern tree;
+  pattern::PatternNodeId cur = pattern::TreePattern::kRoot;
+  for (int i = 0; i < depth; ++i) {
+    cur = tree.AddChild(cur, MustRegex(alphabet, "s" + std::to_string(i)));
+  }
+  pattern::PatternNodeId p1 = tree.AddChild(cur, MustRegex(alphabet, "p1"));
+  pattern::PatternNodeId p2 = tree.AddChild(cur, MustRegex(alphabet, "p2"));
+  pattern::PatternNodeId q = tree.AddChild(cur, MustRegex(alphabet, "q0"));
+  tree.AddSelected(p1);
+  tree.AddSelected(p2);
+  tree.AddSelected(q);
+  auto fd = fd::FunctionalDependency::Create(std::move(tree),
+                                             pattern::TreePattern::kRoot);
+  RTP_CHECK(fd.ok());
+  return std::move(fd).value();
+}
+
+update::UpdateClass SmallUpdateClass(Alphabet* alphabet) {
+  pattern::TreePattern tree;
+  pattern::PatternNodeId s =
+      tree.AddChild(pattern::TreePattern::kRoot, MustRegex(alphabet, "s0/u0"));
+  tree.AddSelected(s);
+  auto u = update::UpdateClass::Create(std::move(tree));
+  RTP_CHECK(u.ok());
+  return std::move(u).value();
+}
+
+// Sweep |FD| via the chain depth of the FD pattern.
+void BM_ProductSizeVsFdSize(benchmark::State& state) {
+  Alphabet alphabet;
+  int depth = static_cast<int>(state.range(0));
+  fd::FunctionalDependency fd = ChainFd(&alphabet, depth);
+  update::UpdateClass u = SmallUpdateClass(&alphabet);
+  int64_t product_size = 0;
+  int64_t fd_size = 0;
+  for (auto _ : state) {
+    auto result = independence::CheckIndependence(fd, u, nullptr, &alphabet);
+    RTP_CHECK(result.ok());
+    product_size = result->product_size;
+    fd_size = result->fd_automaton_size;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["fd_pattern_size"] =
+      static_cast<double>(fd.pattern().Size(alphabet));
+  state.counters["fd_automaton_size"] = static_cast<double>(fd_size);
+  state.counters["product_size"] = static_cast<double>(product_size);
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_ProductSizeVsFdSize)->DenseRange(1, 9, 2)->Complexity();
+
+// Sweep |U| via the regex size of the update selector.
+void BM_ProductSizeVsUpdateSize(benchmark::State& state) {
+  Alphabet alphabet;
+  int width = static_cast<int>(state.range(0));
+  fd::FunctionalDependency fd = ChainFd(&alphabet, 2);
+  // Update selector with a regex of ~width states: u0/u1/.../uk.
+  std::string path = "s0";
+  for (int i = 0; i < width; ++i) path += "/u" + std::to_string(i);
+  pattern::TreePattern tree;
+  tree.AddSelected(
+      tree.AddChild(pattern::TreePattern::kRoot, MustRegex(&alphabet, path)));
+  auto u = update::UpdateClass::Create(std::move(tree));
+  RTP_CHECK(u.ok());
+
+  int64_t product_size = 0;
+  int64_t u_size = 0;
+  for (auto _ : state) {
+    auto result = independence::CheckIndependence(fd, *u, nullptr, &alphabet);
+    RTP_CHECK(result.ok());
+    product_size = result->product_size;
+    u_size = result->u_automaton_size;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["u_automaton_size"] = static_cast<double>(u_size);
+  state.counters["product_size"] = static_cast<double>(product_size);
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_ProductSizeVsUpdateSize)->DenseRange(1, 9, 2)->Complexity();
+
+// Sweep |A_S| via the number of schema element declarations.
+void BM_ProductSizeVsSchemaSize(benchmark::State& state) {
+  Alphabet alphabet;
+  int elements = static_cast<int>(state.range(0));
+  std::string schema_text = "schema { root e0; element e0 { ";
+  // e0 content: e1*, e1 content: e2*, ... chain plus leaves.
+  schema_text += "e1* / s0? }";
+  for (int i = 1; i < elements; ++i) {
+    schema_text += " element e" + std::to_string(i) + " { " +
+                   (i + 1 < elements ? "e" + std::to_string(i + 1) + "*" : "#text") +
+                   " }";
+  }
+  schema_text += " element s0 { u0* } element u0 { #text } }";
+  auto schema = schema::Schema::Parse(&alphabet, schema_text);
+  RTP_CHECK_MSG(schema.ok(), schema.status().ToString().c_str());
+
+  fd::FunctionalDependency fd = ChainFd(&alphabet, 2);
+  update::UpdateClass u = SmallUpdateClass(&alphabet);
+  int64_t product_size = 0;
+  int64_t schema_size = 0;
+  for (auto _ : state) {
+    auto result =
+        independence::CheckIndependence(fd, u, &*schema, &alphabet);
+    RTP_CHECK(result.ok());
+    product_size = result->product_size;
+    schema_size = result->schema_automaton_size;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["schema_automaton_size"] = static_cast<double>(schema_size);
+  state.counters["product_size"] = static_cast<double>(product_size);
+  state.SetComplexityN(elements);
+}
+BENCHMARK(BM_ProductSizeVsSchemaSize)->DenseRange(2, 18, 4)->Complexity();
+
+// Sweep edge-regex automaton size |A_e| within the FD.
+void BM_ProductSizeVsEdgeRegexSize(benchmark::State& state) {
+  Alphabet alphabet;
+  int k = static_cast<int>(state.range(0));
+  std::string path = "s0";
+  for (int i = 0; i < k; ++i) path += "/(x" + std::to_string(i) + "|y)";
+  pattern::TreePattern tree;
+  pattern::PatternNodeId x =
+      tree.AddChild(pattern::TreePattern::kRoot, MustRegex(&alphabet, path));
+  pattern::PatternNodeId q = tree.AddChild(x, MustRegex(&alphabet, "q0"));
+  tree.AddSelected(q);
+  auto fd = fd::FunctionalDependency::Create(std::move(tree),
+                                             pattern::TreePattern::kRoot);
+  RTP_CHECK(fd.ok());
+  update::UpdateClass u = SmallUpdateClass(&alphabet);
+
+  int64_t product_size = 0;
+  for (auto _ : state) {
+    auto result = independence::CheckIndependence(*fd, u, nullptr, &alphabet);
+    RTP_CHECK(result.ok());
+    product_size = result->product_size;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["product_size"] = static_cast<double>(product_size);
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ProductSizeVsEdgeRegexSize)->DenseRange(1, 9, 2)->Complexity();
+
+}  // namespace
+}  // namespace rtp::bench

@@ -1,0 +1,44 @@
+#ifndef RTP_BENCH_BENCH_COMMON_H_
+#define RTP_BENCH_BENCH_COMMON_H_
+
+#include "common/check.h"
+#include "fd/functional_dependency.h"
+#include "pattern/pattern_parser.h"
+#include "update/update_class.h"
+#include "workload/exam_generator.h"
+#include "workload/exam_schema.h"
+#include "workload/paper_patterns.h"
+
+namespace rtp::bench {
+
+inline fd::FunctionalDependency MustFd(pattern::ParsedPattern parsed) {
+  auto fd = fd::FunctionalDependency::FromParsed(std::move(parsed));
+  RTP_CHECK_MSG(fd.ok(), fd.status().ToString().c_str());
+  return std::move(fd).value();
+}
+
+inline update::UpdateClass MustUpdate(pattern::ParsedPattern parsed) {
+  auto u = update::UpdateClass::FromParsed(std::move(parsed));
+  RTP_CHECK_MSG(u.ok(), u.status().ToString().c_str());
+  return std::move(u).value();
+}
+
+inline pattern::ParsedPattern MustParsePattern(Alphabet* alphabet,
+                                               std::string_view text) {
+  auto parsed = pattern::ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+// Exam document with `candidates` candidates (about 20 nodes each).
+inline xml::Document MakeExamDocument(Alphabet* alphabet, uint32_t candidates,
+                                      uint64_t seed = 42) {
+  workload::ExamWorkloadParams params;
+  params.num_candidates = candidates;
+  params.seed = seed;
+  return workload::GenerateExamDocument(alphabet, params);
+}
+
+}  // namespace rtp::bench
+
+#endif  // RTP_BENCH_BENCH_COMMON_H_

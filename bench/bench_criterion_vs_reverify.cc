@@ -1,0 +1,141 @@
+// Experiment E1 — the study the paper's conclusion calls for: "estimate how
+// much time it saves to launch the independence criterion instead of
+// verifying the functional dependency again."
+//
+// Compares, for FD/update-class pairs of the paper:
+//   (a) the one-off cost of the independence criterion IC (document-
+//       independent: only the FD, the update class and the schema), vs
+//   (b) the cost of applying an update and re-verifying the FD on the
+//       updated document, as the document grows.
+//
+// The expected shape: (a) is constant while (b) grows with the document,
+// so the criterion wins beyond small documents whenever it applies — and
+// its advantage multiplies with the number of updates in a batch.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "fd/fd_checker.h"
+#include "independence/criterion.h"
+#include "update/update_ops.h"
+
+namespace rtp::bench {
+namespace {
+
+// --- (a) criterion cost, per FD. ---
+
+void BM_CriterionFd1VsLevelUpdates(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  fd::FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  bool independent = false;
+  for (auto _ : state) {
+    auto result =
+        independence::CheckIndependence(fd1, u, &schema, &alphabet);
+    RTP_CHECK(result.ok());
+    independent = result->independent;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["independent"] = independent ? 1 : 0;
+}
+BENCHMARK(BM_CriterionFd1VsLevelUpdates);
+
+void BM_CriterionFd5VsLevelUpdates(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  fd::FunctionalDependency fd5 = MustFd(workload::PaperFd5(&alphabet));
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  bool independent = false;
+  for (auto _ : state) {
+    auto result =
+        independence::CheckIndependence(fd5, u, &schema, &alphabet);
+    RTP_CHECK(result.ok());
+    independent = result->independent;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["independent"] = independent ? 1 : 0;
+}
+BENCHMARK(BM_CriterionFd5VsLevelUpdates);
+
+void BM_CriterionFd3VsLevelUpdates(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  fd::FunctionalDependency fd3 = MustFd(workload::PaperFd3(&alphabet));
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  bool independent = true;
+  for (auto _ : state) {
+    auto result =
+        independence::CheckIndependence(fd3, u, &schema, &alphabet);
+    RTP_CHECK(result.ok());
+    independent = result->independent;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["independent"] = independent ? 1 : 0;
+}
+BENCHMARK(BM_CriterionFd3VsLevelUpdates);
+
+// --- (b) update + full FD re-verification, document size sweep. ---
+
+void ReverifyBenchmark(benchmark::State& state,
+                       pattern::ParsedPattern (*fd_maker)(Alphabet*)) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  fd::FunctionalDependency fd = MustFd(fd_maker(&alphabet));
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  update::Update q{&u, update::TransformValues{[](std::string_view v) {
+                     return std::string(v) + "'";
+                   }}};
+  size_t mappings = 0;
+  for (auto _ : state) {
+    xml::Document work = doc.Clone();
+    auto stats = update::ApplyUpdate(&work, q);
+    RTP_CHECK(stats.ok());
+    fd::CheckResult check = fd::CheckFd(fd, work);
+    mappings = check.num_mappings;
+    benchmark::DoNotOptimize(check);
+  }
+  state.counters["nodes"] = static_cast<double>(doc.LiveNodeCount());
+  state.counters["mappings"] = static_cast<double>(mappings);
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+
+void BM_ReverifyFd1AfterUpdate(benchmark::State& state) {
+  ReverifyBenchmark(state, workload::PaperFd1);
+}
+BENCHMARK(BM_ReverifyFd1AfterUpdate)->Range(8, 32768)->Complexity();
+
+void BM_ReverifyFd5AfterUpdate(benchmark::State& state) {
+  ReverifyBenchmark(state, workload::PaperFd5);
+}
+BENCHMARK(BM_ReverifyFd5AfterUpdate)->Range(8, 32768)->Complexity();
+
+// --- (b') a batch of K updates each followed by re-verification, vs one
+// criterion check covering the whole class. ---
+
+void BM_ReverifyBatchFd5(benchmark::State& state) {
+  Alphabet alphabet;
+  xml::Document doc = MakeExamDocument(&alphabet, 1000);
+  fd::FunctionalDependency fd5 = MustFd(workload::PaperFd5(&alphabet));
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    xml::Document work = doc.Clone();
+    for (int i = 0; i < batch; ++i) {
+      std::string suffix = std::to_string(i);
+      update::Update q{&u, update::TransformValues{[&suffix](std::string_view) {
+                         return "level" + suffix;
+                       }}};
+      auto stats = update::ApplyUpdate(&work, q);
+      RTP_CHECK(stats.ok());
+      fd::CheckResult check = fd::CheckFd(fd5, work);
+      benchmark::DoNotOptimize(check);
+    }
+  }
+  state.counters["updates_per_batch"] = batch;
+}
+BENCHMARK(BM_ReverifyBatchFd5)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace rtp::bench

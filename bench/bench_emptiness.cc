@@ -1,0 +1,110 @@
+// Experiment E3 — Proposition 3's emptiness-test time: the criterion's
+// emptiness check must stay polynomial in the component sizes. Times
+// IsEmptyLanguage on criterion product automata of growing size, and on
+// plain pattern automata.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/pattern_compiler.h"
+#include "automata/product.h"
+#include "bench_common.h"
+#include "regex/regex.h"
+
+namespace rtp::bench {
+namespace {
+
+using automata::CompilePattern;
+using automata::HedgeAutomaton;
+using automata::MarkMode;
+
+regex::Regex MustRegex(Alphabet* alphabet, const std::string& text) {
+  auto re = regex::Regex::Parse(alphabet, text);
+  RTP_CHECK_MSG(re.ok(), re.status().ToString().c_str());
+  return std::move(re).value();
+}
+
+pattern::TreePattern ChainPattern(Alphabet* alphabet, int depth,
+                                  const std::string& step) {
+  pattern::TreePattern tree;
+  pattern::PatternNodeId cur = pattern::TreePattern::kRoot;
+  for (int i = 0; i < depth; ++i) {
+    cur = tree.AddChild(cur, MustRegex(alphabet, step));
+  }
+  tree.AddSelected(cur);
+  return tree;
+}
+
+void BM_EmptinessPatternAutomaton(benchmark::State& state) {
+  Alphabet alphabet;
+  int depth = static_cast<int>(state.range(0));
+  pattern::TreePattern tree = ChainPattern(&alphabet, depth, "a|b/c");
+  HedgeAutomaton automaton = CompilePattern(tree, MarkMode::kNone);
+  bool empty = true;
+  for (auto _ : state) {
+    empty = automaton.IsEmptyLanguage();
+    benchmark::DoNotOptimize(empty);
+  }
+  state.counters["automaton_size"] =
+      static_cast<double>(automaton.TotalSize());
+  state.counters["empty"] = empty ? 1 : 0;
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EmptinessPatternAutomaton)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_EmptinessMeetProduct(benchmark::State& state) {
+  Alphabet alphabet;
+  int depth = static_cast<int>(state.range(0));
+  pattern::TreePattern fd_tree = ChainPattern(&alphabet, depth, "a|b/c");
+  pattern::TreePattern u_tree = ChainPattern(&alphabet, depth, "a|c");
+  HedgeAutomaton fd_automaton =
+      CompilePattern(fd_tree, MarkMode::kTraceAndSelectedSubtrees);
+  HedgeAutomaton u_automaton =
+      CompilePattern(u_tree, MarkMode::kSelectedImagesOnly);
+  HedgeAutomaton meet = automata::MeetProduct(fd_automaton, u_automaton);
+  bool empty = true;
+  for (auto _ : state) {
+    empty = meet.IsEmptyLanguage();
+    benchmark::DoNotOptimize(empty);
+  }
+  state.counters["product_size"] = static_cast<double>(meet.TotalSize());
+  state.counters["empty"] = empty ? 1 : 0;
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EmptinessMeetProduct)->DenseRange(1, 7, 2)->Complexity();
+
+// Emptiness including the construction (what the criterion actually pays).
+void BM_EmptinessConstructAndCheck(benchmark::State& state) {
+  Alphabet alphabet;
+  int depth = static_cast<int>(state.range(0));
+  pattern::TreePattern fd_tree = ChainPattern(&alphabet, depth, "a|b/c");
+  pattern::TreePattern u_tree = ChainPattern(&alphabet, depth, "a|c");
+  for (auto _ : state) {
+    HedgeAutomaton fd_automaton =
+        CompilePattern(fd_tree, MarkMode::kTraceAndSelectedSubtrees);
+    HedgeAutomaton u_automaton =
+        CompilePattern(u_tree, MarkMode::kSelectedImagesOnly);
+    HedgeAutomaton meet = automata::MeetProduct(fd_automaton, u_automaton);
+    bool empty = meet.IsEmptyLanguage();
+    benchmark::DoNotOptimize(empty);
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EmptinessConstructAndCheck)->DenseRange(1, 7, 2)->Complexity();
+
+// Witness synthesis cost on non-empty products.
+void BM_WitnessSynthesis(benchmark::State& state) {
+  Alphabet alphabet;
+  int depth = static_cast<int>(state.range(0));
+  pattern::TreePattern tree = ChainPattern(&alphabet, depth, "a|b/c");
+  HedgeAutomaton automaton = CompilePattern(tree, MarkMode::kNone);
+  for (auto _ : state) {
+    auto witness = automaton.FindWitnessDocument(&alphabet);
+    RTP_CHECK(witness.ok());
+    benchmark::DoNotOptimize(witness);
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_WitnessSynthesis)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+}  // namespace
+}  // namespace rtp::bench

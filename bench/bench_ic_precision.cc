@@ -1,0 +1,107 @@
+// Experiment E9 — precision of the (sound but incomplete) criterion IC.
+// Runs the criterion over a suite of (fd, update-class) pairs built from
+// the paper's exam domain, labels each pair through randomized impact
+// search, and reports:
+//   proven_independent    pairs where IC fired,
+//   impact_found          pairs where a real impact witness exists,
+//   soundness_violations  pairs where IC fired AND an impact exists —
+//                         must be 0 (Proposition 2).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "independence/criterion.h"
+#include "independence/impact_search.h"
+
+namespace rtp::bench {
+namespace {
+
+struct Pair {
+  const char* name;
+  fd::FunctionalDependency fd;
+  update::UpdateClass update;
+};
+
+std::vector<Pair> BuildSuite(Alphabet* alphabet) {
+  std::vector<Pair> suite;
+  auto add = [&](const char* name, pattern::ParsedPattern fd_pattern,
+                 std::string_view update_text) {
+    suite.push_back(Pair{name, MustFd(std::move(fd_pattern)),
+                         MustUpdate(MustParsePattern(alphabet, update_text))});
+  };
+
+  const char* kLevelUpdate = "root { session/candidate { s = level; toBePassed; } } select s;";
+  const char* kRankUpdate = "root { s = session/candidate/exam/rank; } select s;";
+  const char* kMarkUpdate = "root { s = session/candidate/exam/mark; } select s;";
+  const char* kTbpUpdate = "root { s = session/candidate/toBePassed/discipline; } select s;";
+  const char* kFjUpdate = "root { s = session/candidate/firstJob-Year; } select s;";
+
+  add("fd1_vs_level", workload::PaperFd1(alphabet), kLevelUpdate);
+  add("fd1_vs_rank", workload::PaperFd1(alphabet), kRankUpdate);
+  add("fd1_vs_mark", workload::PaperFd1(alphabet), kMarkUpdate);
+  add("fd1_vs_tbp", workload::PaperFd1(alphabet), kTbpUpdate);
+  add("fd2_vs_level", workload::PaperFd2(alphabet), kLevelUpdate);
+  add("fd2_vs_rank", workload::PaperFd2(alphabet), kRankUpdate);
+  add("fd3_vs_level", workload::PaperFd3(alphabet), kLevelUpdate);
+  add("fd3_vs_tbp", workload::PaperFd3(alphabet), kTbpUpdate);
+  add("fd5_vs_level", workload::PaperFd5(alphabet), kLevelUpdate);
+  add("fd5_vs_fj", workload::PaperFd5(alphabet), kFjUpdate);
+  add("fd5_vs_rank", workload::PaperFd5(alphabet), kRankUpdate);
+  return suite;
+}
+
+void BM_CriterionPrecisionSuite(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  std::vector<Pair> suite = BuildSuite(&alphabet);
+
+  int proven = 0;
+  int impacts = 0;
+  int soundness_violations = 0;
+  for (auto _ : state) {
+    proven = impacts = soundness_violations = 0;
+    for (const Pair& pair : suite) {
+      auto criterion = independence::CheckIndependence(pair.fd, pair.update,
+                                                       &schema, &alphabet);
+      RTP_CHECK(criterion.ok());
+      independence::ImpactSearchParams params;
+      params.num_documents = 30;
+      params.updates_per_document = 6;
+      independence::ImpactSearchResult search =
+          independence::SearchForImpact(pair.fd, pair.update, schema, params);
+      if (criterion->independent) ++proven;
+      if (search.impact_found) ++impacts;
+      if (criterion->independent && search.impact_found) {
+        ++soundness_violations;
+      }
+    }
+  }
+  state.counters["pairs"] = static_cast<double>(suite.size());
+  state.counters["proven_independent"] = proven;
+  state.counters["impact_found"] = impacts;
+  state.counters["soundness_violations"] = soundness_violations;
+}
+BENCHMARK(BM_CriterionPrecisionSuite)->Unit(benchmark::kMillisecond);
+
+// Criterion-only timing over the suite (what an FD guard would pay up
+// front, once per (fd, class) pair).
+void BM_CriterionSuiteOnly(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  std::vector<Pair> suite = BuildSuite(&alphabet);
+  for (auto _ : state) {
+    for (const Pair& pair : suite) {
+      auto criterion = independence::CheckIndependence(pair.fd, pair.update,
+                                                       &schema, &alphabet);
+      RTP_CHECK(criterion.ok());
+      benchmark::DoNotOptimize(criterion);
+    }
+  }
+  state.counters["pairs"] = static_cast<double>(suite.size());
+}
+BENCHMARK(BM_CriterionSuiteOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtp::bench

@@ -1,0 +1,118 @@
+// Experiment E11 — the three verification strategies the paper discusses
+// (Section 5, related work) on the same update stream:
+//   full      re-verify the FD from scratch after every update ([naive]),
+//   index     incremental maintenance with per-context summaries (the
+//             style of the paper's reference [14]: document + stored
+//             verification state available),
+//   criterion the paper's contribution: one document-independent IC check
+//             per (fd, class) pair; zero per-update work when it fires.
+// Expected shape: criterion << index << full for independent pairs, and
+// index << full for dependent pairs (where the criterion cannot help).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "fd/fd_checker.h"
+#include "fd/fd_index.h"
+#include "independence/criterion.h"
+#include "update/update_ops.h"
+
+namespace rtp::bench {
+namespace {
+
+// One rank rewrite at a single exam of the document (a dependent pair for
+// fd1: ranks are fd1's targets).
+update::UpdateClass RankClass(Alphabet* alphabet) {
+  return MustUpdate(MustParsePattern(
+      alphabet, "root { s = session/candidate/exam/rank; } select s;"));
+}
+
+void BM_FullRecheckPerUpdate(benchmark::State& state) {
+  Alphabet alphabet;
+  xml::Document doc = MakeExamDocument(&alphabet,
+                                       static_cast<uint32_t>(state.range(0)));
+  fd::FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  update::UpdateClass ranks = RankClass(&alphabet);
+  std::vector<xml::NodeId> targets = ranks.SelectNodes(doc);
+  size_t which = 0;
+  for (auto _ : state) {
+    auto stats = update::ApplyOperationAt(
+        &doc, {targets[which++ % targets.size()]},
+        update::TransformValues{[](std::string_view v) { return std::string(v); }});
+    RTP_CHECK(stats.ok());
+    fd::CheckResult check = fd::CheckFd(fd1, doc);
+    benchmark::DoNotOptimize(check);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullRecheckPerUpdate)->Range(64, 4096)->Complexity();
+
+void BM_IncrementalIndexPerUpdate(benchmark::State& state) {
+  Alphabet alphabet;
+  xml::Document doc = MakeExamDocument(&alphabet,
+                                       static_cast<uint32_t>(state.range(0)));
+  fd::FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  update::UpdateClass ranks = RankClass(&alphabet);
+  std::vector<xml::NodeId> targets = ranks.SelectNodes(doc);
+  fd::FdIndex index = fd::FdIndex::Build(fd1, doc);
+  size_t which = 0;
+  size_t incremental_mappings = 0;
+  for (auto _ : state) {
+    auto stats = update::ApplyOperationAt(
+        &doc, {targets[which++ % targets.size()]},
+        update::TransformValues{[](std::string_view v) { return std::string(v); }});
+    RTP_CHECK(stats.ok());
+    bool verdict = index.Revalidate(doc, stats->updated_roots);
+    incremental_mappings = index.last_pass_mappings();
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["mappings_per_pass"] =
+      static_cast<double>(incremental_mappings);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalIndexPerUpdate)->Range(64, 4096)->Complexity();
+
+// fd2 (context = candidate) decomposes per candidate: the incremental
+// index shines because only one candidate is re-enumerated per update.
+void BM_IncrementalIndexPerUpdateFd2(benchmark::State& state) {
+  Alphabet alphabet;
+  xml::Document doc = MakeExamDocument(&alphabet,
+                                       static_cast<uint32_t>(state.range(0)));
+  fd::FunctionalDependency fd2 = MustFd(workload::PaperFd2(&alphabet));
+  update::UpdateClass dates = MustUpdate(MustParsePattern(
+      &alphabet, "root { s = session/candidate/exam/date; } select s;"));
+  std::vector<xml::NodeId> targets = dates.SelectNodes(doc);
+  fd::FdIndex index = fd::FdIndex::Build(fd2, doc);
+  size_t which = 0;
+  for (auto _ : state) {
+    auto stats = update::ApplyOperationAt(
+        &doc, {targets[which++ % targets.size()]},
+        update::TransformValues{[](std::string_view v) { return std::string(v); }});
+    RTP_CHECK(stats.ok());
+    bool verdict = index.Revalidate(doc, stats->updated_roots);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["mappings_per_pass"] =
+      static_cast<double>(index.last_pass_mappings());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalIndexPerUpdateFd2)->Range(64, 4096)->Complexity();
+
+// The criterion route for an independent pair: one check, zero per-update
+// verification (shown as the flat one-off cost).
+void BM_CriterionOneOffIndependentPair(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  fd::FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  update::UpdateClass levels = MustUpdate(workload::PaperUpdateU(&alphabet));
+  for (auto _ : state) {
+    auto result =
+        independence::CheckIndependence(fd1, levels, &schema, &alphabet);
+    RTP_CHECK(result.ok() && result->independent);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CriterionOneOffIndependentPair);
+
+}  // namespace
+}  // namespace rtp::bench

@@ -1,0 +1,93 @@
+// Experiment E6 — the PSPACE-hardness engine (Proposition 1): regular
+// expression inclusion via determinization + difference. The family
+//   eta_n = (a|b)* / a / (a|b)^n
+// has NFAs of size O(n) but minimal DFAs of size 2^n: the measured DFA
+// sizes and inclusion-test times must grow exponentially in n, while the
+// polynomial criterion IC (bench_criterion_vs_reverify) stays flat — the
+// gap the paper's Propositions 1 and 3 predict.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "independence/hardness.h"
+#include "regex/regex.h"
+
+namespace rtp::bench {
+namespace {
+
+std::string ExpBlowupRegex(int n) {
+  std::string text = "(a|b)*/a";
+  for (int i = 0; i < n; ++i) text += "/(a|b)";
+  return text;
+}
+
+void BM_DeterminizeBlowupFamily(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int64_t dfa_states = 0;
+  for (auto _ : state) {
+    Alphabet alphabet;
+    auto re = regex::Regex::Parse(&alphabet, ExpBlowupRegex(n));
+    RTP_CHECK(re.ok());
+    dfa_states = re->dfa().NumStates();
+    benchmark::DoNotOptimize(re);
+  }
+  state.counters["dfa_states"] = static_cast<double>(dfa_states);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DeterminizeBlowupFamily)->DenseRange(2, 14, 2)->Complexity();
+
+void BM_InclusionCheckBlowupFamily(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Alphabet alphabet;
+  auto eta = regex::Regex::Parse(&alphabet, ExpBlowupRegex(n));
+  auto eta_prime = regex::Regex::Parse(&alphabet, "(a|b)+");
+  RTP_CHECK(eta.ok() && eta_prime.ok());
+  bool included = false;
+  for (auto _ : state) {
+    included = eta->dfa().IsSubsetOf(eta_prime->dfa());
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["included"] = included ? 1 : 0;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_InclusionCheckBlowupFamily)->DenseRange(2, 14, 2)->Complexity();
+
+// The full reduction: building the Update-FD independence instance that
+// encodes the inclusion question (Figure 7 construction).
+void BM_BuildHardnessReduction(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string eta = ExpBlowupRegex(n);
+  for (auto _ : state) {
+    Alphabet alphabet;
+    auto reduction =
+        independence::BuildInclusionReduction(&alphabet, eta, "(a|b)+");
+    RTP_CHECK(reduction.ok());
+    benchmark::DoNotOptimize(reduction);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildHardnessReduction)->DenseRange(2, 10, 2)->Complexity();
+
+// Polynomial-size regexes where inclusion is easy: baseline sanity.
+void BM_InclusionCheckEasyFamily(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Alphabet alphabet;
+  std::string chain = "a";
+  for (int i = 0; i < n; ++i) chain += "/a";
+  auto small = regex::Regex::Parse(&alphabet, chain);
+  auto big = regex::Regex::Parse(&alphabet, "a+");
+  RTP_CHECK(small.ok() && big.ok());
+  bool included = false;
+  for (auto _ : state) {
+    included = small->dfa().IsSubsetOf(big->dfa());
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["included"] = included ? 1 : 0;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_InclusionCheckEasyFamily)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+}  // namespace
+}  // namespace rtp::bench

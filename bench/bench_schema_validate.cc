@@ -1,0 +1,69 @@
+// Experiment E8 — schema validation: bottom-up automaton runs on growing
+// documents (the valid(S) component of the criterion's Definition 6).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/random_document.h"
+
+namespace rtp::bench {
+namespace {
+
+void BM_ValidateExamDocuments(benchmark::State& state) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  bool valid = false;
+  for (auto _ : state) {
+    valid = schema.Validate(doc);
+    benchmark::DoNotOptimize(valid);
+  }
+  state.counters["nodes"] = static_cast<double>(doc.LiveNodeCount());
+  state.counters["valid"] = valid ? 1 : 0;
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+BENCHMARK(BM_ValidateExamDocuments)->Range(8, 32768)->Complexity();
+
+void BM_ValidateInvalidDocument(benchmark::State& state) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  // Break validity deep in the document: drop one candidate's level.
+  xml::NodeId session = doc.first_child(doc.root());
+  xml::NodeId mid = doc.first_child(session);
+  for (uint32_t i = 0; i < candidates / 2; ++i) mid = doc.next_sibling(mid);
+  for (xml::NodeId k : doc.Children(mid)) {
+    if (doc.label_name(k) == "level") doc.DetachSubtree(k);
+  }
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  bool valid = true;
+  for (auto _ : state) {
+    valid = schema.Validate(doc);
+    benchmark::DoNotOptimize(valid);
+  }
+  state.counters["valid"] = valid ? 1 : 0;
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+BENCHMARK(BM_ValidateInvalidDocument)->Range(8, 8192)->Complexity();
+
+void BM_GenerateRandomValidDocument(benchmark::State& state) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  workload::RandomDocumentParams params;
+  params.soft_max_children = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    params.seed = seed++;
+    auto doc = workload::GenerateRandomDocument(schema, params);
+    RTP_CHECK(doc.ok());
+    nodes = doc->LiveNodeCount();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GenerateRandomValidDocument)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace rtp::bench

@@ -1,0 +1,96 @@
+// Experiment E7 — the update model of Section 4: cost of evaluating an
+// update class (node selection) and applying operations, as document size
+// and selectivity vary.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "update/update_ops.h"
+
+namespace rtp::bench {
+namespace {
+
+void BM_SelectNodes(benchmark::State& state) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  size_t selected = 0;
+  for (auto _ : state) {
+    std::vector<xml::NodeId> nodes = u.SelectNodes(doc);
+    selected = nodes.size();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["nodes"] = static_cast<double>(doc.LiveNodeCount());
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+BENCHMARK(BM_SelectNodes)->Range(8, 32768)->Complexity();
+
+void BM_ApplyTransformValues(benchmark::State& state) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  update::Update q{&u, update::TransformValues{[](std::string_view v) {
+                     return std::string(v);
+                   }}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    xml::Document work = doc.Clone();
+    state.ResumeTiming();
+    auto stats = update::ApplyUpdate(&work, q);
+    RTP_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+BENCHMARK(BM_ApplyTransformValues)->Range(8, 8192)->Complexity();
+
+void BM_ApplyReplaceSubtree(benchmark::State& state) {
+  Alphabet alphabet;
+  uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  xml::Document doc = MakeExamDocument(&alphabet, candidates);
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  auto repl = std::make_shared<xml::Document>(&alphabet);
+  xml::NodeId r = repl->AddElement(repl->root(), "level");
+  repl->AddText(r, "E");
+  update::Update q{&u, update::ReplaceSubtree{repl, r}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    xml::Document work = doc.Clone();
+    state.ResumeTiming();
+    auto stats = update::ApplyUpdate(&work, q);
+    RTP_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetComplexityN(static_cast<int64_t>(doc.LiveNodeCount()));
+}
+BENCHMARK(BM_ApplyReplaceSubtree)->Range(8, 8192)->Complexity();
+
+// Selectivity sweep: fraction of candidates with toBePassed controls how
+// many nodes the class updates.
+void BM_ApplyBySelectivity(benchmark::State& state) {
+  Alphabet alphabet;
+  workload::ExamWorkloadParams params;
+  params.num_candidates = 4096;
+  params.to_be_passed_fraction = static_cast<double>(state.range(0)) / 100.0;
+  xml::Document doc = workload::GenerateExamDocument(&alphabet, params);
+  update::UpdateClass u = MustUpdate(workload::PaperUpdateU(&alphabet));
+  update::Update q{&u, update::DeleteChildren{}};
+  size_t updated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    xml::Document work = doc.Clone();
+    state.ResumeTiming();
+    auto stats = update::ApplyUpdate(&work, q);
+    RTP_CHECK(stats.ok());
+    updated = stats->nodes_updated;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["nodes_updated"] = static_cast<double>(updated);
+}
+BENCHMARK(BM_ApplyBySelectivity)->Arg(0)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace rtp::bench

@@ -1,0 +1,52 @@
+#ifndef RTP_AUTOMATA_PATTERN_COMPILER_H_
+#define RTP_AUTOMATA_PATTERN_COMPILER_H_
+
+#include "automata/hedge_automaton.h"
+#include "pattern/tree_pattern.h"
+
+namespace rtp::automata {
+
+// What the compiled automaton's state marks flag (used by the independence
+// criterion's meet product).
+enum class MarkMode {
+  // No marks: the automaton merely recognizes "the document contains a
+  // trace of the pattern".
+  kNone,
+  // Marks the nodes of the trace AND every node inside a subtree rooted at
+  // a *value-compared* selected-node image — the FD-side set
+  // N(trace) U N(FD_sel(D)) of Definition 6, refined: node-equality
+  // positions do not contribute their subtrees, because an update strictly
+  // below such an image cannot change the node's identity (updates on the
+  // trace itself are caught by the trace marks). This keeps the criterion
+  // sound while proving more pairs independent (e.g. key constraints
+  // versus updates deep inside the keyed nodes).
+  kTraceAndSelectedSubtrees,
+  // Marks only the images of selected nodes — the U-side set of
+  // Definition 6 (the nodes the update class updates).
+  kSelectedImagesOnly,
+};
+
+// Compiles a regular tree pattern into a nondeterministic bottom-up hedge
+// automaton recognizing exactly the documents containing at least one trace
+// of the pattern (i.e. admitting a mapping per Definition 2).
+//
+// Construction (linear in |R|, as required by Proposition 3): each document
+// node nondeterministically receives a role —
+//   out            not on the trace;
+//   covered        below a selected-node image (kTraceAndSelectedSubtrees);
+//   path(w, s)     on the path realizing edge (parent(w), w), where s is
+//                  the edge-DFA state before reading this node's label;
+//   img(w, s)      the image of template node w, reached with pre-state s
+//                  (delta(s, label) must be accepting);
+//   root           the image of the template root (document root "/").
+// Horizontal languages enforce that an img/root node's children contain,
+// in template order, one child starting each outgoing edge (out/covered
+// elsewhere) — which captures the document-order condition and the
+// prefix-divergence condition (b) of Definition 2 — and that a path node
+// has exactly one continuing child.
+HedgeAutomaton CompilePattern(const pattern::TreePattern& pattern,
+                              MarkMode mode);
+
+}  // namespace rtp::automata
+
+#endif  // RTP_AUTOMATA_PATTERN_COMPILER_H_

@@ -1,0 +1,24 @@
+#ifndef RTP_AUTOMATA_PRODUCT_H_
+#define RTP_AUTOMATA_PRODUCT_H_
+
+#include "automata/hedge_automaton.h"
+
+namespace rtp::automata {
+
+// Plain intersection product: state (qa, qb), packed qa * |Qb| + qb.
+// Accepts a document iff both components accept it (each via its own
+// root-accepting set). Marks of the product are the conjunction of
+// component marks.
+HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b);
+
+// The criterion's "meet" product: state (qa, qb, met), packed
+// (qa * |Qb| + qb) * 2 + met, where met(v) is true iff some node in the
+// subtree rooted at v (v included) carries marks in BOTH components.
+// Root-accepting states are those with both components root-accepting and
+// met = 1. Intersecting the result with a schema automaton therefore
+// yields an automaton for the language L of Definition 6.
+HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b);
+
+}  // namespace rtp::automata
+
+#endif  // RTP_AUTOMATA_PRODUCT_H_

@@ -1,0 +1,86 @@
+#ifndef RTP_COMMON_ALPHABET_H_
+#define RTP_COMMON_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rtp {
+
+// Interned identifier of a label of the finite alphabet Sigma.
+using LabelId = uint32_t;
+
+inline constexpr LabelId kInvalidLabel = UINT32_MAX;
+
+// The paper partitions Sigma into element labels (EL), attribute labels (A)
+// and the text marker. We follow XML convention: attribute labels start
+// with '@'; the text marker is the reserved label "#text"; the document
+// root is labeled with the reserved label "/" (a member of EL).
+enum class LabelKind : uint8_t {
+  kElement = 0,
+  kAttribute = 1,
+  kText = 2,
+};
+
+// Interning table for labels. Documents, patterns, schemas and automata
+// that are meant to interact must share one Alphabet instance.
+//
+// The table always contains the two reserved labels:
+//   id 0: "/"      (root element label)
+//   id 1: "#text"  (the text marker, written as a bottom symbol in the paper)
+class Alphabet {
+ public:
+  Alphabet() {
+    RTP_CHECK(Intern("/") == kRootLabel);
+    RTP_CHECK(Intern("#text") == kTextLabel);
+  }
+
+  Alphabet(const Alphabet&) = delete;
+  Alphabet& operator=(const Alphabet&) = delete;
+
+  static constexpr LabelId kRootLabel = 0;
+  static constexpr LabelId kTextLabel = 1;
+
+  // Returns the id of `name`, interning it if new.
+  LabelId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id of `name` or kInvalidLabel if it was never interned.
+  LabelId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidLabel : it->second;
+  }
+
+  const std::string& Name(LabelId id) const {
+    RTP_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  static LabelKind KindOf(std::string_view name) {
+    if (name == "#text") return LabelKind::kText;
+    if (!name.empty() && name[0] == '@') return LabelKind::kAttribute;
+    return LabelKind::kElement;
+  }
+
+  LabelKind Kind(LabelId id) const { return KindOf(Name(id)); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace rtp
+
+#endif  // RTP_COMMON_ALPHABET_H_

@@ -1,0 +1,28 @@
+#ifndef RTP_COMMON_CHECK_H_
+#define RTP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// RTP_CHECK aborts on violated invariants. These are programmer-error
+// assertions (kept on in all build modes), not input validation — invalid
+// input is reported through Status.
+#define RTP_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "RTP_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define RTP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RTP_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // RTP_COMMON_CHECK_H_

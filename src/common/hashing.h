@@ -1,0 +1,29 @@
+#ifndef RTP_COMMON_HASHING_H_
+#define RTP_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtp {
+
+// 64-bit FNV-1a over a byte range.
+inline uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 1469598103934665603ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Mixes an integer into a running hash (splitmix64 finalizer composition).
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + h;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+}  // namespace rtp
+
+#endif  // RTP_COMMON_HASHING_H_

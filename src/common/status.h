@@ -1,0 +1,139 @@
+#ifndef RTP_COMMON_STATUS_H_
+#define RTP_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rtp {
+
+// Error codes used throughout the library. The library does not use C++
+// exceptions; every fallible operation returns a Status or a StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status carrying a code and, for errors, a message.
+// An OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ParseError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Union of a Status and a value of type T. Holds the value exactly when the
+// status is OK. Accessing the value of a non-OK StatusOr aborts the process.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` or
+  // `return SomeError(...);` directly.
+  StatusOr(const T& value) : rep_(value) {}          // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "StatusOr constructed from an OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace rtp
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define RTP_RETURN_IF_ERROR(expr)                      \
+  do {                                                 \
+    ::rtp::Status rtp_status_tmp_ = (expr);            \
+    if (!rtp_status_tmp_.ok()) return rtp_status_tmp_; \
+  } while (false)
+
+// Evaluates `expr` (a StatusOr<T> expression); on error returns its status,
+// otherwise assigns the value to `lhs`.
+#define RTP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  RTP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      RTP_STATUS_CONCAT_(rtp_statusor_, __LINE__), lhs, expr)
+
+#define RTP_STATUS_CONCAT_INNER_(a, b) a##b
+#define RTP_STATUS_CONCAT_(a, b) RTP_STATUS_CONCAT_INNER_(a, b)
+#define RTP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#endif  // RTP_COMMON_STATUS_H_

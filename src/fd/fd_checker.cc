@@ -1,0 +1,133 @@
+#include "fd/fd_checker.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/hashing.h"
+#include "xml/value_equality.h"
+#include "xml/xml_io.h"
+
+namespace rtp::fd {
+
+using pattern::EqualityType;
+using pattern::Mapping;
+using pattern::SelectedNode;
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+// Caches subtree hashes: FD condition/target images repeat across mappings.
+class SubtreeHashCache {
+ public:
+  explicit SubtreeHashCache(const Document& doc) : doc_(doc) {}
+
+  uint64_t Hash(NodeId n) {
+    auto [it, inserted] = cache_.try_emplace(n, 0);
+    if (inserted) it->second = xml::SubtreeHash(doc_, n);
+    return it->second;
+  }
+
+ private:
+  const Document& doc_;
+  std::unordered_map<NodeId, uint64_t> cache_;
+};
+
+// One representative mapping per (context, conditions) group.
+struct GroupEntry {
+  Mapping mapping;
+  uint64_t target_hash = 0;
+};
+
+bool SelectedEqual(const Document& doc, const SelectedNode& s, NodeId a,
+                   NodeId b) {
+  if (s.equality == EqualityType::kNode) return a == b;
+  return xml::ValueEqual(doc, a, b);
+}
+
+}  // namespace
+
+std::string Violation::Describe(const Document& doc,
+                                const FunctionalDependency& fd) const {
+  std::string out =
+      "violation: two traces agree on context and conditions but differ on "
+      "the target\n";
+  const auto& selected = fd.pattern().selected();
+  auto render = [&](const Mapping& m, const char* tag) {
+    out += std::string(tag) + ": context node #" +
+           std::to_string(m.image[fd.context()]) + "\n";
+    for (size_t i = 0; i < selected.size(); ++i) {
+      NodeId image = m.image[selected[i].node];
+      const char* role = (i + 1 == selected.size()) ? "target" : "condition";
+      out += "  " + std::string(role) + " " + doc.label_name(image) + " = " +
+             xml::WriteXmlSubtree(doc, image, /*indent=*/false) + "\n";
+    }
+  };
+  render(first, "trace 1");
+  render(second, "trace 2");
+  return out;
+}
+
+CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
+                    const CheckOptions& options) {
+  CheckResult result;
+  pattern::MatchTables tables = pattern::MatchTables::Build(fd.pattern(), doc);
+  pattern::MappingEnumerator enumerator(tables);
+  SubtreeHashCache hashes(doc);
+
+  const std::vector<SelectedNode>& selected = fd.pattern().selected();
+  const size_t num_conditions = selected.size() - 1;
+  const SelectedNode target = selected.back();
+
+  // Group key hash -> entries (collision bucket).
+  std::unordered_map<uint64_t, std::vector<GroupEntry>> groups;
+
+  enumerator.ForEach([&](const Mapping& m) {
+    ++result.num_mappings;
+    NodeId context_image = m.image[fd.context()];
+    uint64_t key = HashMix(0, context_image);
+    for (size_t i = 0; i < num_conditions; ++i) {
+      NodeId image = m.image[selected[i].node];
+      uint64_t h = selected[i].equality == EqualityType::kNode
+                       ? static_cast<uint64_t>(image)
+                       : hashes.Hash(image);
+      key = HashMix(key, h);
+    }
+    NodeId target_image = m.image[target.node];
+    uint64_t target_hash = target.equality == EqualityType::kNode
+                               ? static_cast<uint64_t>(target_image)
+                               : hashes.Hash(target_image);
+
+    auto& bucket = groups[key];
+    for (GroupEntry& entry : bucket) {
+      // Confirm exact group equality (guards against hash collisions).
+      if (entry.mapping.image[fd.context()] != context_image) continue;
+      bool same_group = true;
+      for (size_t i = 0; i < num_conditions && same_group; ++i) {
+        same_group = SelectedEqual(doc, selected[i],
+                                   entry.mapping.image[selected[i].node],
+                                   m.image[selected[i].node]);
+      }
+      if (!same_group) continue;
+      // Same group: targets must agree.
+      bool targets_equal =
+          entry.target_hash == target_hash &&
+          SelectedEqual(doc, target, entry.mapping.image[target.node],
+                        target_image);
+      if (!targets_equal) {
+        result.satisfied = false;
+        if (!result.violation.has_value()) {
+          result.violation = Violation{entry.mapping, m};
+        }
+        return !options.stop_at_first_violation;
+      }
+      return true;  // consistent with the representative
+    }
+    bucket.push_back(GroupEntry{m, target_hash});
+    ++result.num_groups;
+    return true;
+  });
+  return result;
+}
+
+}  // namespace rtp::fd

@@ -1,0 +1,46 @@
+#ifndef RTP_FD_FD_CHECKER_H_
+#define RTP_FD_FD_CHECKER_H_
+
+#include <optional>
+#include <string>
+
+#include "fd/functional_dependency.h"
+#include "pattern/evaluator.h"
+#include "xml/document.h"
+
+namespace rtp::fd {
+
+// Witness of a violation of Definition 5: two mappings agreeing on the
+// context node and on every condition (under their equality types) but
+// disagreeing on the target.
+struct Violation {
+  pattern::Mapping first;
+  pattern::Mapping second;
+
+  std::string Describe(const xml::Document& doc,
+                       const FunctionalDependency& fd) const;
+};
+
+struct CheckResult {
+  bool satisfied = true;
+  std::optional<Violation> violation;
+  // Work counters (benchmark instrumentation).
+  size_t num_mappings = 0;
+  size_t num_groups = 0;
+};
+
+struct CheckOptions {
+  // Stop at the first violation (default) or keep counting mappings.
+  bool stop_at_first_violation = true;
+};
+
+// Checks whether `doc` satisfies `fd` (Definition 5) by enumerating the
+// mappings of the FD pattern, grouping them by (context image, condition
+// keys) and testing target agreement within each group. Value comparisons
+// use subtree hashing with exact ValueEqual confirmation.
+CheckResult CheckFd(const FunctionalDependency& fd, const xml::Document& doc,
+                    const CheckOptions& options = {});
+
+}  // namespace rtp::fd
+
+#endif  // RTP_FD_FD_CHECKER_H_

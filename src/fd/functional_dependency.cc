@@ -1,0 +1,50 @@
+#include "fd/functional_dependency.h"
+
+namespace rtp::fd {
+
+StatusOr<FunctionalDependency> FunctionalDependency::Create(
+    pattern::TreePattern pattern, pattern::PatternNodeId context) {
+  RTP_RETURN_IF_ERROR(pattern.Validate());
+  if (pattern.selected().empty()) {
+    return InvalidArgumentError(
+        "a functional dependency needs at least a target node");
+  }
+  if (context >= pattern.NumNodes()) {
+    return InvalidArgumentError("context node out of range");
+  }
+  for (const pattern::SelectedNode& s : pattern.selected()) {
+    if (!pattern.IsAncestorOrSelf(context, s.node)) {
+      return InvalidArgumentError(
+          "the context node must be an ancestor of every condition/target "
+          "node");
+    }
+  }
+  return FunctionalDependency(std::move(pattern), context);
+}
+
+StatusOr<FunctionalDependency> FunctionalDependency::FromParsed(
+    pattern::ParsedPattern parsed) {
+  if (!parsed.context.has_value()) {
+    return InvalidArgumentError(
+        "the pattern DSL text lacks a 'context' clause");
+  }
+  return Create(std::move(parsed.pattern), *parsed.context);
+}
+
+std::vector<pattern::SelectedNode> FunctionalDependency::conditions() const {
+  const auto& selected = pattern_.selected();
+  return std::vector<pattern::SelectedNode>(selected.begin(),
+                                            selected.end() - 1);
+}
+
+pattern::SelectedNode FunctionalDependency::target() const {
+  return pattern_.selected().back();
+}
+
+std::string FunctionalDependency::ToString(const Alphabet& alphabet) const {
+  std::string out = "fd with context node n" + std::to_string(context_) + "\n";
+  out += pattern_.ToString(alphabet);
+  return out;
+}
+
+}  // namespace rtp::fd

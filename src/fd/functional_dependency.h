@@ -1,0 +1,49 @@
+#ifndef RTP_FD_FUNCTIONAL_DEPENDENCY_H_
+#define RTP_FD_FUNCTIONAL_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/pattern_parser.h"
+#include "pattern/tree_pattern.h"
+
+namespace rtp::fd {
+
+// An XML functional dependency fd = (FD, c) of Definition 4: a regular tree
+// pattern whose selected tuple is (p1[E1], ..., pn[En], q[E(n+1)]) — the
+// conditions followed by the target — plus a context node c that is an
+// ancestor of every selected node.
+class FunctionalDependency {
+ public:
+  // The pattern must have at least one selected node (the last one is the
+  // target); `context` must be an ancestor-or-self of every selected node.
+  static StatusOr<FunctionalDependency> Create(pattern::TreePattern pattern,
+                                               pattern::PatternNodeId context);
+
+  // Builds from a parsed DSL pattern carrying a "context" clause.
+  static StatusOr<FunctionalDependency> FromParsed(
+      pattern::ParsedPattern parsed);
+
+  const pattern::TreePattern& pattern() const { return pattern_; }
+  pattern::PatternNodeId context() const { return context_; }
+
+  // Condition nodes p1..pn (possibly empty: a "constant" dependency).
+  std::vector<pattern::SelectedNode> conditions() const;
+  // Target node q with its equality type.
+  pattern::SelectedNode target() const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  FunctionalDependency(pattern::TreePattern pattern,
+                       pattern::PatternNodeId context)
+      : pattern_(std::move(pattern)), context_(context) {}
+
+  pattern::TreePattern pattern_;
+  pattern::PatternNodeId context_;
+};
+
+}  // namespace rtp::fd
+
+#endif  // RTP_FD_FUNCTIONAL_DEPENDENCY_H_

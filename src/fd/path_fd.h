@@ -1,0 +1,57 @@
+#ifndef RTP_FD_PATH_FD_H_
+#define RTP_FD_PATH_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fd/functional_dependency.h"
+
+namespace rtp::fd {
+
+// The path-based XML functional dependency formalism the paper compares
+// against (reference [8] there): an expression
+//
+//   (C, (P1[E1], ..., Pn[En]) -> Q[E(n+1)])
+//
+// where C is an absolute simple linear path selecting the context node and
+// the Pi / Q are simple linear paths relative to the context. Section 3.2
+// of the paper shows how to translate such an expression into a regular
+// tree pattern by factorizing longest common prefixes; CompilePathFd
+// implements exactly that construction.
+struct PathFd {
+  struct Item {
+    // Slash-separated label steps, e.g. "candidate/exam/discipline".
+    std::vector<std::string> steps;
+    pattern::EqualityType equality = pattern::EqualityType::kValue;
+  };
+
+  // Context path (absolute; empty = the document root).
+  std::vector<std::string> context;
+  std::vector<Item> conditions;
+  Item target;
+};
+
+// Parses the textual form, e.g.
+//   (/session, (candidate/exam/discipline, candidate/exam/mark)
+//       -> candidate/exam/rank)
+// An item may carry an equality suffix "[N]" or "[V]" (default V).
+StatusOr<PathFd> ParsePathFd(std::string_view input);
+
+// Translates into a regular tree pattern per Section 3.2: the context path
+// becomes an edge from the template root to the context node; the longest
+// common prefixes among {P1..Pn, Q} are factorized into shared internal
+// nodes; chains without branching are compressed into single word-labeled
+// edges. Sibling edges are ordered by first occurrence in (P1,...,Pn,Q) —
+// the ordering requirement the pattern semantics adds to [8]. Items with
+// identical paths share one template node.
+StatusOr<FunctionalDependency> CompilePathFd(Alphabet* alphabet,
+                                             const PathFd& path_fd);
+
+// Convenience: parse + compile.
+StatusOr<FunctionalDependency> ParseAndCompilePathFd(Alphabet* alphabet,
+                                                     std::string_view input);
+
+}  // namespace rtp::fd
+
+#endif  // RTP_FD_PATH_FD_H_

@@ -1,0 +1,52 @@
+#include "fd/reference_checker.h"
+
+#include "pattern/reference_evaluator.h"
+#include "xml/value_equality.h"
+
+namespace rtp::fd {
+
+using pattern::EqualityType;
+using pattern::Mapping;
+using pattern::SelectedNode;
+
+namespace {
+
+bool SelectedEqual(const xml::Document& doc, const SelectedNode& s,
+                   xml::NodeId a, xml::NodeId b) {
+  if (s.equality == EqualityType::kNode) return a == b;
+  return xml::ValueEqual(doc, a, b);
+}
+
+}  // namespace
+
+bool ReferenceCheckFd(const FunctionalDependency& fd,
+                      const xml::Document& doc) {
+  std::vector<Mapping> mappings =
+      pattern::ReferenceEnumerateMappings(fd.pattern(), doc);
+  const auto& selected = fd.pattern().selected();
+  const size_t n = selected.size() - 1;  // conditions
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    for (size_t j = 0; j < mappings.size(); ++j) {
+      const Mapping& m1 = mappings[i];
+      const Mapping& m2 = mappings[j];
+      // (a) same context image.
+      if (m1.image[fd.context()] != m2.image[fd.context()]) continue;
+      // (b) all conditions equal under their equality types.
+      bool conditions_equal = true;
+      for (size_t k = 0; k < n && conditions_equal; ++k) {
+        conditions_equal =
+            SelectedEqual(doc, selected[k], m1.image[selected[k].node],
+                          m2.image[selected[k].node]);
+      }
+      if (!conditions_equal) continue;
+      // Then the targets must be equal as well.
+      if (!SelectedEqual(doc, selected[n], m1.image[selected[n].node],
+                         m2.image[selected[n].node])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rtp::fd

@@ -1,0 +1,18 @@
+#ifndef RTP_FD_REFERENCE_CHECKER_H_
+#define RTP_FD_REFERENCE_CHECKER_H_
+
+#include "fd/functional_dependency.h"
+#include "xml/document.h"
+
+namespace rtp::fd {
+
+// A literal transcription of Definition 5, used as the specification
+// oracle in property tests: enumerates all mappings with the reference
+// evaluator and compares every pair of traces — quadratic in the mapping
+// count and exponential in the template size, so only for tiny inputs.
+bool ReferenceCheckFd(const FunctionalDependency& fd,
+                      const xml::Document& doc);
+
+}  // namespace rtp::fd
+
+#endif  // RTP_FD_REFERENCE_CHECKER_H_

@@ -1,0 +1,89 @@
+#include "independence/criterion.h"
+
+#include <set>
+
+#include "automata/pattern_compiler.h"
+#include "automata/product.h"
+#include "pattern/evaluator.h"
+
+namespace rtp::independence {
+
+using automata::HedgeAutomaton;
+using automata::MarkMode;
+
+StatusOr<CriterionResult> CheckIndependence(
+    const fd::FunctionalDependency& fd, const update::UpdateClass& update,
+    const schema::Schema* schema, Alphabet* alphabet,
+    const CriterionOptions& options) {
+  if (!update.SelectedAreLeaves()) {
+    return InvalidArgumentError(
+        "the criterion requires every selected node of the update class to "
+        "be a leaf of its template (Section 5)");
+  }
+
+  HedgeAutomaton fd_automaton =
+      CompilePattern(fd.pattern(), MarkMode::kTraceAndSelectedSubtrees);
+  HedgeAutomaton u_automaton =
+      CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
+  HedgeAutomaton schema_automaton =
+      schema != nullptr ? HedgeAutomaton() : HedgeAutomaton::Universal();
+  const HedgeAutomaton& a_s =
+      schema != nullptr ? schema->automaton() : schema_automaton;
+
+  HedgeAutomaton meet = automata::MeetProduct(fd_automaton, u_automaton);
+  HedgeAutomaton l_automaton = automata::Intersect(meet, a_s);
+
+  CriterionResult result;
+  result.fd_automaton_size = fd_automaton.TotalSize();
+  result.u_automaton_size = u_automaton.TotalSize();
+  result.schema_automaton_size = a_s.TotalSize();
+  result.product_size = l_automaton.TotalSize();
+  result.independent = l_automaton.IsEmptyLanguage();
+  if (!result.independent && options.want_conflict_candidate) {
+    auto witness = l_automaton.FindWitnessDocument(alphabet);
+    if (witness.ok()) {
+      result.conflict_candidate = std::move(witness).value();
+    }
+  }
+  return result;
+}
+
+bool IsInCriterionLanguage(const xml::Document& doc,
+                           const fd::FunctionalDependency& fd,
+                           const update::UpdateClass& update,
+                           const schema::Schema* schema) {
+  if (schema != nullptr && !schema->Validate(doc)) return false;
+
+  // Nodes the update class would update.
+  std::vector<xml::NodeId> updated = update.SelectNodes(doc);
+  if (updated.empty()) return false;
+
+  // Does some FD mapping's trace-or-covered set intersect them?
+  pattern::MatchTables tables = pattern::MatchTables::Build(fd.pattern(), doc);
+  pattern::MappingEnumerator enumerator(tables);
+  bool found = false;
+  enumerator.ForEach([&](const pattern::Mapping& m) {
+    std::vector<xml::NodeId> trace = pattern::TraceOf(doc, m);
+    std::set<xml::NodeId> fd_set(trace.begin(), trace.end());
+    for (const pattern::SelectedNode& s : fd.pattern().selected()) {
+      // Node-equality positions do not contribute their subtrees (see the
+      // refinement note in pattern_compiler.h); their images are already
+      // on the trace.
+      if (s.equality != pattern::EqualityType::kValue) continue;
+      doc.VisitFrom(m.image[s.node], [&fd_set](xml::NodeId n) {
+        fd_set.insert(n);
+        return true;
+      });
+    }
+    for (xml::NodeId n : updated) {
+      if (fd_set.count(n) > 0) {
+        found = true;
+        return false;  // stop enumeration
+      }
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace rtp::independence

@@ -1,0 +1,69 @@
+#ifndef RTP_INDEPENDENCE_CRITERION_H_
+#define RTP_INDEPENDENCE_CRITERION_H_
+
+#include <optional>
+
+#include "automata/hedge_automaton.h"
+#include "common/status.h"
+#include "fd/functional_dependency.h"
+#include "schema/schema.h"
+#include "update/update_class.h"
+#include "xml/document.h"
+
+namespace rtp::independence {
+
+// Result of checking the independence criterion IC (Propositions 2 and 3).
+struct CriterionResult {
+  // True iff the language L of Definition 6 is empty; then fd is
+  // independent with respect to the update class (in the context of the
+  // schema, if one was given). False means "unknown": the criterion is
+  // sound but not complete.
+  bool independent = false;
+
+  // When L is non-empty: a document of L, i.e. a schema-valid document
+  // containing an FD trace and a U trace whose updated node touches the FD
+  // trace or the condition/target subtrees. This is the *candidate
+  // conflict situation* the criterion could not rule out (not necessarily
+  // an actual impact witness).
+  std::optional<xml::Document> conflict_candidate;
+
+  // Instrumentation for the Proposition 3 size/time claims.
+  int64_t fd_automaton_size = 0;
+  int64_t u_automaton_size = 0;
+  int64_t schema_automaton_size = 0;
+  int64_t product_size = 0;  // |A| of the automaton recognizing L
+};
+
+struct CriterionOptions {
+  // Also synthesize `conflict_candidate` when the criterion fails.
+  bool want_conflict_candidate = false;
+};
+
+// Checks the independence criterion: builds the automaton for
+// L = valid(S) ∩ { D containing an FD trace and a U trace whose updated
+// node is on the FD trace or inside a condition/target subtree } as
+// Intersect(MeetProduct(A_FD, A_U), A_S) and tests its emptiness.
+//
+// `schema` may be null (no schema: A_S is the universal automaton).
+//
+// Fails with InvalidArgument when a selected node of the update class is
+// not a leaf of its template — the restriction under which Proposition 2
+// holds. As in the paper, the criterion's soundness assumes updates
+// preserve the label of the updated node (an update "at" a node rewrites
+// its content, not its identity).
+StatusOr<CriterionResult> CheckIndependence(
+    const fd::FunctionalDependency& fd, const update::UpdateClass& update,
+    const schema::Schema* schema, Alphabet* alphabet,
+    const CriterionOptions& options = {});
+
+// Direct (automaton-free) test of membership of `doc` in the language L of
+// Definition 6, via pattern evaluation. Used to cross-validate the
+// automaton construction and to explain conflict candidates.
+bool IsInCriterionLanguage(const xml::Document& doc,
+                           const fd::FunctionalDependency& fd,
+                           const update::UpdateClass& update,
+                           const schema::Schema* schema);
+
+}  // namespace rtp::independence
+
+#endif  // RTP_INDEPENDENCE_CRITERION_H_

@@ -1,0 +1,176 @@
+#include "independence/hardness.h"
+
+#include <set>
+
+#include "regex/regex.h"
+#include "regex/regex_parser.h"
+
+namespace rtp::independence {
+
+using pattern::TreePattern;
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+Status CheckReservedLabels(const regex::RegexNode& node,
+                           const Alphabet& alphabet) {
+  static constexpr const char* kReserved[] = {"branch", "m0", "hash", "fval",
+                                              "gval"};
+  if (node.kind == regex::RegexKind::kSymbol) {
+    for (const char* r : kReserved) {
+      if (alphabet.Name(node.symbol) == r) {
+        return InvalidArgumentError(
+            std::string("expression uses the reserved gadget label '") + r +
+            "'");
+      }
+    }
+  }
+  if (node.kind == regex::RegexKind::kAny) {
+    return InvalidArgumentError(
+        "the wildcard '_' is not allowed in reduction expressions (it would "
+        "capture the gadget labels)");
+  }
+  for (const auto& child : node.children) {
+    RTP_RETURN_IF_ERROR(CheckReservedLabels(*child, alphabet));
+  }
+  return Status::OK();
+}
+
+// Appends a unary chain labeled by `word` below `parent`, returning the
+// last node.
+NodeId AppendChain(Document* doc, NodeId parent,
+                   const std::vector<LabelId>& word) {
+  NodeId cur = parent;
+  for (LabelId label : word) {
+    cur = doc->AddChild(cur, label, xml::NodeType::kElement);
+  }
+  return cur;
+}
+
+void AddBranch(Document* doc, NodeId root, const std::vector<LabelId>& word,
+               std::string_view f_value, std::string_view g_value) {
+  Alphabet* alphabet = doc->mutable_alphabet();
+  NodeId x = doc->AddElement(root, "branch");
+  NodeId m = doc->AddElement(x, "m0");
+  NodeId end = AppendChain(doc, m, word);
+  doc->AddElement(end, "hash");
+  NodeId f = doc->AddElement(x, "fval");
+  doc->AddText(f, f_value);
+  NodeId g = doc->AddElement(x, "gval");
+  doc->AddText(g, g_value);
+  (void)alphabet;
+}
+
+}  // namespace
+
+StatusOr<HardnessReduction> BuildInclusionReduction(
+    Alphabet* alphabet, std::string_view eta, std::string_view eta_prime) {
+  RTP_ASSIGN_OR_RETURN(regex::RegexAst eta_ast,
+                       regex::ParseRegex(alphabet, eta));
+  RTP_ASSIGN_OR_RETURN(regex::RegexAst eta_prime_ast,
+                       regex::ParseRegex(alphabet, eta_prime));
+  RTP_RETURN_IF_ERROR(CheckReservedLabels(*eta_ast, *alphabet));
+  RTP_RETURN_IF_ERROR(CheckReservedLabels(*eta_prime_ast, *alphabet));
+
+  regex::Dfa eta_dfa = regex::Dfa::FromAst(*eta_ast);
+  regex::Dfa eta_prime_dfa = regex::Dfa::FromAst(*eta_prime_ast);
+  if (eta_prime_dfa.IsEmpty()) {
+    return InvalidArgumentError(
+        "the reduction requires eta' to denote a non-empty language");
+  }
+
+  LabelId branch = alphabet->Intern("branch");
+  LabelId m0 = alphabet->Intern("m0");
+  LabelId hash = alphabet->Intern("hash");
+  LabelId fval = alphabet->Intern("fval");
+  LabelId gval = alphabet->Intern("gval");
+  (void)branch;
+
+  // FD pattern: root -branch-> x { m0/(eta'|_*/hash/eta')/hash ; fval ; gval }.
+  auto make_regex = [&](regex::RegexAst ast) {
+    return regex::Regex::FromAst(std::move(ast));
+  };
+  TreePattern fd_tree;
+  pattern::PatternNodeId x =
+      fd_tree.AddChild(TreePattern::kRoot, make_regex(regex::Sym(branch)));
+  {
+    // m0 / (eta' | _*/hash/eta') / hash
+    std::vector<regex::RegexAst> second_alt;
+    second_alt.push_back(regex::Star(regex::Any()));
+    second_alt.push_back(regex::Sym(hash));
+    second_alt.push_back(regex::CloneAst(*eta_prime_ast));
+    std::vector<regex::RegexAst> alts;
+    alts.push_back(regex::CloneAst(*eta_prime_ast));
+    alts.push_back(regex::Cat(std::move(second_alt)));
+    std::vector<regex::RegexAst> whole;
+    whole.push_back(regex::Sym(m0));
+    whole.push_back(regex::Alt(std::move(alts)));
+    whole.push_back(regex::Sym(hash));
+    fd_tree.AddChild(x, make_regex(regex::Cat(std::move(whole))));
+  }
+  pattern::PatternNodeId p = fd_tree.AddChild(x, make_regex(regex::Sym(fval)));
+  pattern::PatternNodeId q = fd_tree.AddChild(x, make_regex(regex::Sym(gval)));
+  fd_tree.AddSelected(p, pattern::EqualityType::kValue);
+  fd_tree.AddSelected(q, pattern::EqualityType::kValue);
+  RTP_ASSIGN_OR_RETURN(
+      fd::FunctionalDependency fd,
+      fd::FunctionalDependency::Create(std::move(fd_tree), TreePattern::kRoot));
+
+  // U pattern: root -branch-> y -m0/eta/hash-> s.
+  TreePattern u_tree;
+  pattern::PatternNodeId y =
+      u_tree.AddChild(TreePattern::kRoot, make_regex(regex::Sym(branch)));
+  {
+    std::vector<regex::RegexAst> whole;
+    whole.push_back(regex::Sym(m0));
+    whole.push_back(regex::CloneAst(*eta_ast));
+    whole.push_back(regex::Sym(hash));
+    pattern::PatternNodeId s =
+        u_tree.AddChild(y, make_regex(regex::Cat(std::move(whole))));
+    u_tree.AddSelected(s);
+  }
+  RTP_ASSIGN_OR_RETURN(update::UpdateClass update_class,
+                       update::UpdateClass::Create(std::move(u_tree)));
+
+  HardnessReduction reduction{std::move(fd), std::move(update_class), false,
+                              std::nullopt, std::nullopt};
+
+  // Decide inclusion exactly (exponential in general: the PSPACE engine).
+  regex::Dfa difference = regex::Dfa::Difference(eta_dfa, eta_prime_dfa);
+  reduction.eta_included = difference.IsEmpty();
+
+  if (!reduction.eta_included) {
+    // w in L(eta) \ L(eta'): dynamic branch carries m0.w.hash.
+    auto w = difference.ShortestWord(alphabet);
+    RTP_CHECK(w.has_value());
+    auto w_prime = eta_prime_dfa.ShortestWord(alphabet);
+    RTP_CHECK(w_prime.has_value());
+
+    Document doc(alphabet);
+    // Dynamic branch: eta-word, same F value, different G value.
+    AddBranch(&doc, doc.root(), *w, "F", "G1");
+    // Static branch: eta'-word (already an FD trace).
+    AddBranch(&doc, doc.root(), *w_prime, "F", "G2");
+    reduction.counterexample = std::move(doc);
+
+    // The impacting update: append the chain w'.hash below each selected
+    // hash node (when w' is empty the chain is the single hash node).
+    auto sub = std::make_shared<Document>(alphabet);
+    NodeId first;
+    if (w_prime->empty()) {
+      first = sub->AddElement(sub->root(), "hash");
+    } else {
+      first =
+          sub->AddChild(sub->root(), (*w_prime)[0], xml::NodeType::kElement);
+      NodeId end = AppendChain(
+          sub.get(), first,
+          std::vector<LabelId>(w_prime->begin() + 1, w_prime->end()));
+      sub->AddElement(end, "hash");
+    }
+    reduction.impacting_update = update::AppendChild{sub, first};
+  }
+  return reduction;
+}
+
+}  // namespace rtp::independence

@@ -1,0 +1,59 @@
+#ifndef RTP_INDEPENDENCE_HARDNESS_H_
+#define RTP_INDEPENDENCE_HARDNESS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fd/functional_dependency.h"
+#include "update/update_class.h"
+#include "update/update_ops.h"
+#include "xml/document.h"
+
+namespace rtp::independence {
+
+// The PSPACE-hardness reduction of Proposition 1: regular-expression
+// inclusion reduces to Update-FD independence.
+//
+// Given eta and eta' over labels not containing the reserved gadget labels
+// {branch, m0, hash, fval, gval}, the reduction builds (following the
+// construction of the paper's Figures 7-8, reconstructed where the figure
+// detail is lost in our source text):
+//
+//   FD (context = root):
+//     root -[branch]-> x
+//       x -[m0/(eta' | _*/hash/eta')/hash]-> h   (existence node)
+//       x -[fval]-> p   condition [V]
+//       x -[gval]-> q   target    [V]
+//
+//   U:  root -[branch]-> y -[m0/eta/hash]-> s    (s selected, a leaf)
+//
+// Claim (proved in hardness_test.cc by exhaustive small cases and spot
+// checks): the FD is impacted by U iff L(eta) is NOT a subset of L(eta'),
+// provided eta' is non-empty. The impacting update appends, below the
+// selected 'hash' node, a chain w'.hash with w' in L(eta') — creating a
+// new FD trace via the second alternative of the existence edge.
+struct HardnessReduction {
+  fd::FunctionalDependency fd;
+  update::UpdateClass update_class;
+
+  // True iff L(eta) is a subset of L(eta') (decided exactly through DFA
+  // complementation — the exponential ground truth).
+  bool eta_included;
+
+  // When eta is not included in eta': the impact witness pair. Applying
+  // `impacting_update` to `counterexample` flips it from satisfying to
+  // violating the FD.
+  std::optional<xml::Document> counterexample;
+  std::optional<update::UpdateOperation> impacting_update;
+};
+
+// Builds the reduction. Fails if eta or eta' cannot be parsed, eta' is
+// empty, or the expressions use the reserved gadget labels.
+StatusOr<HardnessReduction> BuildInclusionReduction(Alphabet* alphabet,
+                                                    std::string_view eta,
+                                                    std::string_view eta_prime);
+
+}  // namespace rtp::independence
+
+#endif  // RTP_INDEPENDENCE_HARDNESS_H_

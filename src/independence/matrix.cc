@@ -1,0 +1,66 @@
+#include "independence/matrix.h"
+
+namespace rtp::independence {
+
+std::vector<size_t> IndependenceMatrix::FdsToRecheck(
+    size_t class_index) const {
+  std::vector<size_t> out;
+  for (size_t f = 0; f < num_fds; ++f) {
+    if (!at(f, class_index).independent) out.push_back(f);
+  }
+  return out;
+}
+
+double IndependenceMatrix::IndependentFraction() const {
+  if (entries.empty()) return 0.0;
+  size_t independent = 0;
+  for (const MatrixEntry& e : entries) {
+    if (e.independent) ++independent;
+  }
+  return static_cast<double>(independent) / static_cast<double>(entries.size());
+}
+
+std::string IndependenceMatrix::ToString(
+    const std::vector<std::string>& fd_names,
+    const std::vector<std::string>& class_names) const {
+  RTP_CHECK(fd_names.size() == num_fds && class_names.size() == num_classes);
+  std::string out(12, ' ');
+  for (const std::string& name : fd_names) {
+    out += name;
+    out.append(name.size() < 10 ? 10 - name.size() : 1, ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < num_classes; ++c) {
+    std::string row = class_names[c];
+    row.append(row.size() < 12 ? 12 - row.size() : 1, ' ');
+    for (size_t f = 0; f < num_fds; ++f) {
+      const char* cell = at(f, c).independent ? "safe" : "check";
+      row += cell;
+      row.append(10 - std::string(cell).size(), ' ');
+    }
+    out += row + "\n";
+  }
+  return out;
+}
+
+StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
+    const std::vector<const fd::FunctionalDependency*>& fds,
+    const std::vector<const update::UpdateClass*>& classes,
+    const schema::Schema* schema, Alphabet* alphabet) {
+  IndependenceMatrix matrix;
+  matrix.num_fds = fds.size();
+  matrix.num_classes = classes.size();
+  matrix.entries.reserve(fds.size() * classes.size());
+  for (size_t f = 0; f < fds.size(); ++f) {
+    for (size_t c = 0; c < classes.size(); ++c) {
+      RTP_ASSIGN_OR_RETURN(
+          CriterionResult result,
+          CheckIndependence(*fds[f], *classes[c], schema, alphabet));
+      matrix.entries.push_back(
+          MatrixEntry{f, c, result.independent, result.product_size});
+    }
+  }
+  return matrix;
+}
+
+}  // namespace rtp::independence

@@ -1,0 +1,52 @@
+#ifndef RTP_INDEPENDENCE_MATRIX_H_
+#define RTP_INDEPENDENCE_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "independence/criterion.h"
+
+namespace rtp::independence {
+
+// Batch form of the criterion — the "set of FDs vs set of update classes"
+// setting of the paper's abstract: run IC once per pair and return the
+// compatibility matrix an update guard consults per incoming update.
+struct MatrixEntry {
+  size_t fd_index = 0;
+  size_t class_index = 0;
+  bool independent = false;
+  int64_t product_size = 0;
+};
+
+struct IndependenceMatrix {
+  // Row-major: entry(f, c) at f * num_classes + c.
+  std::vector<MatrixEntry> entries;
+  size_t num_fds = 0;
+  size_t num_classes = 0;
+
+  const MatrixEntry& at(size_t fd_index, size_t class_index) const {
+    return entries[fd_index * num_classes + class_index];
+  }
+
+  // For one incoming update of class c: indices of the FDs that must be
+  // re-verified (those not proven independent).
+  std::vector<size_t> FdsToRecheck(size_t class_index) const;
+
+  // Fraction of pairs proven independent.
+  double IndependentFraction() const;
+
+  // Plain-text rendering (rows = classes, columns = FDs).
+  std::string ToString(const std::vector<std::string>& fd_names,
+                       const std::vector<std::string>& class_names) const;
+};
+
+// Runs CheckIndependence for every (fd, class) pair. Fails on the first
+// structural error (e.g. a non-leaf-selected update class).
+StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
+    const std::vector<const fd::FunctionalDependency*>& fds,
+    const std::vector<const update::UpdateClass*>& classes,
+    const schema::Schema* schema, Alphabet* alphabet);
+
+}  // namespace rtp::independence
+
+#endif  // RTP_INDEPENDENCE_MATRIX_H_

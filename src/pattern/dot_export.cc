@@ -1,0 +1,88 @@
+#include "pattern/dot_export.h"
+
+namespace {
+
+// DOT string escaping for labels.
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace rtp::pattern {
+
+std::string PatternToDot(const TreePattern& pattern, const Alphabet& alphabet,
+                         PatternNodeId context) {
+  std::string out = "digraph pattern {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (PatternNodeId w = 0; w < pattern.NumNodes(); ++w) {
+    std::string label = w == TreePattern::kRoot ? "/" : "n" + std::to_string(w);
+    std::string attrs = "label=\"" + Escape(label) + "\"";
+    for (size_t i = 0; i < pattern.selected().size(); ++i) {
+      if (pattern.selected()[i].node == w) {
+        attrs += ", shape=doublecircle";
+        attrs += ", xlabel=\"$" + std::to_string(i) +
+                 (pattern.selected()[i].equality == EqualityType::kValue
+                      ? "[V]"
+                      : "[N]") +
+                 "\"";
+        break;
+      }
+    }
+    if (w == context) attrs += ", style=filled, fillcolor=lightgray";
+    out += "  w" + std::to_string(w) + " [" + attrs + "];\n";
+  }
+  for (PatternNodeId w = 1; w < pattern.NumNodes(); ++w) {
+    out += "  w" + std::to_string(pattern.parent(w)) + " -> w" +
+           std::to_string(w) + " [label=\"" +
+           Escape(pattern.edge(w).ToString(alphabet)) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rtp::pattern
+
+namespace rtp::automata {
+
+std::string AutomatonToDot(const HedgeAutomaton& automaton,
+                           const Alphabet& alphabet) {
+  std::string out = "digraph automaton {\n  node [shape=box];\n";
+  std::vector<bool> accepting(automaton.NumStates(), false);
+  for (StateId q : automaton.root_accepting()) accepting[q] = true;
+  for (StateId q = 0; q < automaton.NumStates(); ++q) {
+    std::string attrs = "label=\"q" + std::to_string(q) + "\"";
+    if (accepting[q]) attrs += ", peripheries=2";
+    if (automaton.mark(q)) attrs += ", style=filled, fillcolor=lightyellow";
+    out += "  q" + std::to_string(q) + " [" + attrs + "];\n";
+  }
+  for (size_t i = 0; i < automaton.transitions().size(); ++i) {
+    const auto& t = automaton.transitions()[i];
+    std::string guard;
+    if (t.guard.kind == Guard::Kind::kLabel) {
+      guard = alphabet.Name(t.guard.label);
+    } else if (t.guard.excluded.empty()) {
+      guard = "*";
+    } else {
+      guard = "* \\\\ {";
+      for (size_t k = 0; k < t.guard.excluded.size(); ++k) {
+        if (k > 0) guard += ",";
+        guard += alphabet.Name(t.guard.excluded[k]);
+      }
+      guard += "}";
+    }
+    out += "  t" + std::to_string(i) + " [shape=point];\n";
+    out += "  t" + std::to_string(i) + " -> q" + std::to_string(t.target) +
+           " [label=\"" + Escape(guard) + " / H" +
+           std::to_string(t.horizontal.NumStates()) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rtp::automata

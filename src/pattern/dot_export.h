@@ -1,0 +1,29 @@
+#ifndef RTP_PATTERN_DOT_EXPORT_H_
+#define RTP_PATTERN_DOT_EXPORT_H_
+
+#include <string>
+
+#include "automata/hedge_automaton.h"
+#include "pattern/tree_pattern.h"
+
+namespace rtp::pattern {
+
+// Graphviz (DOT) rendering of a tree pattern: template nodes as circles
+// (selected nodes doubled, the context — if given — shaded), edges labeled
+// with their regular expressions.
+std::string PatternToDot(const TreePattern& pattern, const Alphabet& alphabet,
+                         PatternNodeId context = kInvalidPatternNode);
+
+}  // namespace rtp::pattern
+
+namespace rtp::automata {
+
+// Graphviz rendering of a hedge automaton: states as nodes (marked states
+// shaded, root-accepting states doubled), one edge per transition labeled
+// with its guard; horizontal languages are summarized by their DFA size.
+std::string AutomatonToDot(const HedgeAutomaton& automaton,
+                           const Alphabet& alphabet);
+
+}  // namespace rtp::automata
+
+#endif  // RTP_PATTERN_DOT_EXPORT_H_

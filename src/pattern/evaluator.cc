@@ -1,0 +1,210 @@
+#include "pattern/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rtp::pattern {
+
+using xml::Document;
+using xml::kInvalidNode;
+using xml::NodeId;
+
+MatchTables MatchTables::Build(const TreePattern& pattern,
+                               const Document& doc) {
+  MatchTables t;
+  t.pattern_ = &pattern;
+  t.doc_ = &doc;
+
+  const size_t num_template_nodes = pattern.NumNodes();
+  t.pair_offset_.assign(num_template_nodes, 0);
+  uint32_t pairs = 0;
+  for (PatternNodeId w = 1; w < num_template_nodes; ++w) {
+    t.pair_offset_[w] = pairs;
+    pairs += static_cast<uint32_t>(pattern.edge(w).dfa().NumStates());
+  }
+  t.num_pairs_ = pairs;
+  t.pair_words_ = (pairs + 63) / 64;
+  t.node_words_ = (num_template_nodes + 63) / 64;
+
+  const size_t arena = doc.ArenaSize();
+  t.delivers_.assign(arena * t.pair_words_, 0);
+  t.realizes_.assign(arena * t.node_words_, 0);
+
+  // Postorder over the live tree.
+  std::vector<NodeId> postorder;
+  postorder.reserve(arena);
+  {
+    std::vector<NodeId> stack = {doc.root()};
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      postorder.push_back(v);
+      for (NodeId c = doc.first_child(v); c != kInvalidNode;
+           c = doc.next_sibling(c)) {
+        stack.push_back(c);
+      }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+  }
+
+  std::vector<uint64_t> child_or(t.pair_words_);
+  for (NodeId v : postorder) {
+    // OR of children's delivers bitsets.
+    std::fill(child_or.begin(), child_or.end(), 0);
+    for (NodeId c = doc.first_child(v); c != kInvalidNode;
+         c = doc.next_sibling(c)) {
+      for (size_t i = 0; i < t.pair_words_; ++i) {
+        child_or[i] |= t.delivers_[c * t.pair_words_ + i];
+      }
+    }
+
+    // Realizes: greedy in-order assignment of children to outgoing edges.
+    for (PatternNodeId w = 0; w < num_template_nodes; ++w) {
+      const std::vector<PatternNodeId>& edges = pattern.children(w);
+      size_t j = 0;
+      for (NodeId c = doc.first_child(v); c != kInvalidNode && j < edges.size();
+           c = doc.next_sibling(c)) {
+        PatternNodeId target = edges[j];
+        int32_t init = pattern.edge(target).dfa().initial();
+        if (t.Delivers(c, target, init)) ++j;
+      }
+      if (j == edges.size()) {
+        SetBit(&t.realizes_, v, t.node_words_, w);
+      }
+    }
+
+    // Delivers: for every (edge, state-before-v) pair.
+    LabelId label = doc.label(v);
+    for (PatternNodeId w = 1; w < num_template_nodes; ++w) {
+      const regex::Dfa& dfa = pattern.edge(w).dfa();
+      int32_t num_states = dfa.NumStates();
+      for (int32_t s = 0; s < num_states; ++s) {
+        int32_t next = dfa.Next(s, label);
+        if (next == regex::kDeadState) continue;
+        uint32_t index = t.pair_offset_[w] + static_cast<uint32_t>(s);
+        bool ends_here = dfa.accepting(next) && t.Realizes(v, w);
+        uint32_t cont_index = t.pair_offset_[w] + static_cast<uint32_t>(next);
+        bool continues =
+            (child_or[cont_index / 64] >> (cont_index % 64)) & 1;
+        if (ends_here || continues) {
+          SetBit(&t.delivers_, v, t.pair_words_, index);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+size_t MappingEnumerator::ForEach(const Callback& fn) {
+  visited_ = 0;
+  if (!tables_.HasTrace()) return 0;
+  if (assign_filter_ &&
+      !assign_filter_(TreePattern::kRoot, tables_.doc().root())) {
+    return 0;
+  }
+  fn_ = &fn;
+  current_.image.assign(tables_.pattern().NumNodes(), kInvalidNode);
+  current_.image[TreePattern::kRoot] = tables_.doc().root();
+  tasks_.clear();
+  tasks_.emplace_back(TreePattern::kRoot, tables_.doc().root());
+  ExpandTasks(0);
+  return visited_;
+}
+
+size_t MappingEnumerator::Count(size_t limit) {
+  size_t count = 0;
+  ForEach([&](const Mapping&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return count;
+}
+
+bool MappingEnumerator::ExpandTasks(size_t task_index) {
+  if (task_index == tasks_.size()) {
+    ++visited_;
+    return (*fn_)(current_);
+  }
+  auto [w, v] = tasks_[task_index];
+  return ChooseEdge(w, v, 0, tables_.doc().first_child(v), task_index);
+}
+
+bool MappingEnumerator::ChooseEdge(PatternNodeId w, NodeId v,
+                                   size_t edge_index, NodeId from_child,
+                                   size_t task_index) {
+  const TreePattern& pattern = tables_.pattern();
+  const Document& doc = tables_.doc();
+  const std::vector<PatternNodeId>& edges = pattern.children(w);
+  if (edge_index == edges.size()) return ExpandTasks(task_index + 1);
+
+  PatternNodeId target = edges[edge_index];
+  int32_t init = pattern.edge(target).dfa().initial();
+  for (NodeId c = from_child; c != kInvalidNode; c = doc.next_sibling(c)) {
+    if (!tables_.Delivers(c, target, init)) continue;
+    NodeId next_from = doc.next_sibling(c);
+    bool keep_going = ForEachEndpoint(c, target, init, [&](NodeId endpoint) {
+      if (assign_filter_ && !assign_filter_(target, endpoint)) {
+        return true;  // skip this assignment, keep enumerating others
+      }
+      current_.image[target] = endpoint;
+      tasks_.emplace_back(target, endpoint);
+      bool cont = ChooseEdge(w, v, edge_index + 1, next_from, task_index);
+      tasks_.pop_back();
+      current_.image[target] = kInvalidNode;
+      return cont;
+    });
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool MappingEnumerator::ForEachEndpoint(
+    NodeId v, PatternNodeId w, int32_t s,
+    const std::function<bool(NodeId)>& yield) {
+  const TreePattern& pattern = tables_.pattern();
+  const Document& doc = tables_.doc();
+  const regex::Dfa& dfa = pattern.edge(w).dfa();
+  int32_t next = dfa.Next(s, doc.label(v));
+  if (next == regex::kDeadState) return true;
+  if (dfa.accepting(next) && tables_.Realizes(v, w)) {
+    if (!yield(v)) return false;
+  }
+  for (NodeId c = doc.first_child(v); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (!tables_.Delivers(c, w, next)) continue;
+    if (!ForEachEndpoint(c, w, next, yield)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
+                                                  const Document& doc) {
+  MatchTables tables = MatchTables::Build(pattern, doc);
+  MappingEnumerator enumerator(tables);
+  std::vector<std::vector<NodeId>> result;
+  std::set<std::vector<NodeId>> seen;
+  enumerator.ForEach([&](const Mapping& m) {
+    std::vector<NodeId> tuple;
+    tuple.reserve(pattern.selected().size());
+    for (const SelectedNode& s : pattern.selected()) {
+      tuple.push_back(m.image[s.node]);
+    }
+    if (seen.insert(tuple).second) result.push_back(std::move(tuple));
+    return true;
+  });
+  return result;
+}
+
+std::vector<NodeId> TraceOf(const Document& doc, const Mapping& mapping) {
+  std::set<NodeId> nodes;
+  for (NodeId image : mapping.image) {
+    if (image == kInvalidNode) continue;
+    for (NodeId cur = image;; cur = doc.parent(cur)) {
+      if (!nodes.insert(cur).second) break;
+      if (cur == doc.root()) break;
+    }
+  }
+  return std::vector<NodeId>(nodes.begin(), nodes.end());
+}
+
+}  // namespace rtp::pattern

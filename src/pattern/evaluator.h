@@ -1,0 +1,132 @@
+#ifndef RTP_PATTERN_EVALUATOR_H_
+#define RTP_PATTERN_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "xml/document.h"
+
+namespace rtp::pattern {
+
+// A mapping of Definition 2: image[w] is the document node that template
+// node w maps to. Paths are implicit — between an ancestor and a descendant
+// of a tree there is exactly one descending path, so a mapping is fully
+// determined by the images.
+struct Mapping {
+  std::vector<xml::NodeId> image;
+};
+
+// Bottom-up realizability tables for evaluating a pattern on a document.
+//
+//  Delivers(v, w, s): inside the subtree rooted at v there is an endpoint u
+//    such that the unique path v..u, fed to the DFA of edge (parent(w), w)
+//    starting from state s (reading v's label first), is accepted and u
+//    realizes w.
+//  Realizes(v, w): v can serve as the image of template node w: its child
+//    list contains, in order, distinct children delivering each outgoing
+//    edge of w from its initial state.
+//
+// Building the tables costs O(|D| * |R|)-ish time and memory and answers
+// "does D contain a trace of R" directly; enumeration is then guided by the
+// tables so dead branches are never explored.
+class MatchTables {
+ public:
+  static MatchTables Build(const TreePattern& pattern,
+                           const xml::Document& doc);
+
+  const TreePattern& pattern() const { return *pattern_; }
+  const xml::Document& doc() const { return *doc_; }
+
+  // True iff there is at least one mapping of the pattern on the document.
+  bool HasTrace() const {
+    return Realizes(doc_->root(), TreePattern::kRoot);
+  }
+
+  bool Realizes(xml::NodeId v, PatternNodeId w) const {
+    return GetBit(realizes_, v, node_words_, w);
+  }
+  // `s` is the DFA state of edge (parent(w), w) before reading v's label.
+  bool Delivers(xml::NodeId v, PatternNodeId w, int32_t s) const {
+    return GetBit(delivers_, v, pair_words_,
+                  pair_offset_[w] + static_cast<uint32_t>(s));
+  }
+
+ private:
+  static bool GetBit(const std::vector<uint64_t>& bits, xml::NodeId v,
+                     size_t words, uint32_t index) {
+    return (bits[v * words + index / 64] >> (index % 64)) & 1;
+  }
+  static void SetBit(std::vector<uint64_t>* bits, xml::NodeId v, size_t words,
+                     uint32_t index) {
+    (*bits)[v * words + index / 64] |= uint64_t{1} << (index % 64);
+  }
+
+  const TreePattern* pattern_ = nullptr;
+  const xml::Document* doc_ = nullptr;
+  std::vector<uint32_t> pair_offset_;  // per template node; [0] unused
+  uint32_t num_pairs_ = 0;
+  size_t pair_words_ = 0;
+  size_t node_words_ = 0;
+  std::vector<uint64_t> delivers_;  // arena-indexed bitsets
+  std::vector<uint64_t> realizes_;
+
+  friend class MappingEnumerator;
+};
+
+// Enumerates mappings (Definition 2) of a pattern on a document, guided by
+// prebuilt MatchTables.
+class MappingEnumerator {
+ public:
+  // `fn` is invoked once per mapping; returning false stops enumeration.
+  using Callback = std::function<bool(const Mapping&)>;
+
+  explicit MappingEnumerator(const MatchTables& tables) : tables_(tables) {}
+
+  // Returns the number of mappings visited (all of them unless the
+  // callback stopped early).
+  size_t ForEach(const Callback& fn);
+
+  // Total number of mappings, stopping at `limit` if nonzero.
+  size_t Count(size_t limit = 0);
+
+  // Optional pruning hook: called whenever a template node is tentatively
+  // assigned an image; returning false discards every mapping extending
+  // the assignment. Used e.g. to restrict enumeration to mappings whose
+  // context image lies in a given set (incremental FD maintenance).
+  using AssignFilter = std::function<bool(PatternNodeId, xml::NodeId)>;
+  void set_assign_filter(AssignFilter filter) {
+    assign_filter_ = std::move(filter);
+  }
+
+ private:
+  bool ExpandTasks(size_t task_index);
+  bool ChooseEdge(PatternNodeId w, xml::NodeId v, size_t edge_index,
+                  xml::NodeId from_child, size_t task_index);
+  bool ForEachEndpoint(xml::NodeId v, PatternNodeId w, int32_t s,
+                       const std::function<bool(xml::NodeId)>& yield);
+
+  const MatchTables& tables_;
+  AssignFilter assign_filter_;
+  const Callback* fn_ = nullptr;
+  Mapping current_;
+  std::vector<std::pair<PatternNodeId, xml::NodeId>> tasks_;
+  size_t visited_ = 0;
+};
+
+// Identification phase (a) of evaluation: the distinct tuples of document
+// nodes selected by the pattern (the roots of the subtree tuples of R(D)),
+// in first-encountered order.
+std::vector<std::vector<xml::NodeId>> EvaluateSelected(
+    const TreePattern& pattern, const xml::Document& doc);
+
+// The trace of a mapping: the smallest subtree of the document containing
+// the image of the template (union of the root-to-image paths). Returned
+// sorted by node id.
+std::vector<xml::NodeId> TraceOf(const xml::Document& doc,
+                                 const Mapping& mapping);
+
+}  // namespace rtp::pattern
+
+#endif  // RTP_PATTERN_EVALUATOR_H_

@@ -1,0 +1,47 @@
+#ifndef RTP_PATTERN_PATTERN_PARSER_H_
+#define RTP_PATTERN_PATTERN_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+
+namespace rtp::pattern {
+
+// Result of parsing the pattern DSL.
+struct ParsedPattern {
+  TreePattern pattern;
+  // Named template nodes ("c = session { ... }" binds "c").
+  std::unordered_map<std::string, PatternNodeId> names;
+  // Set by an optional "context NAME;" clause (functional dependencies).
+  std::optional<PatternNodeId> context;
+};
+
+// Parses the textual pattern DSL:
+//
+//   root {
+//     c = session {
+//       x = candidate/exam {
+//         p1 = discipline;
+//         p2 = mark;
+//         q = rank;
+//       }
+//     }
+//   }
+//   select p1[V], p2[V], q[V];
+//   context c;
+//
+// Children are declared in sibling order; each child is "[NAME =] REGEX"
+// followed by a '{ ... }' block (inner children) or ';'. The "select"
+// clause lists the selected tuple in order with optional equality types
+// ([V] default, [N] node equality); "context" names the FD context node.
+// '#'-comments run to end of line.
+StatusOr<ParsedPattern> ParsePattern(Alphabet* alphabet,
+                                     std::string_view input);
+
+}  // namespace rtp::pattern
+
+#endif  // RTP_PATTERN_PATTERN_PARSER_H_

@@ -1,0 +1,55 @@
+#include "pattern/pattern_writer.h"
+
+namespace rtp::pattern {
+
+namespace {
+
+void RenderChildren(const TreePattern& pattern, const Alphabet& alphabet,
+                    PatternNodeId w, int depth, std::string* out) {
+  for (PatternNodeId child : pattern.children(w)) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append("n" + std::to_string(child));
+    out->append(" = ");
+    out->append(pattern.edge(child).ToString(alphabet));
+    if (pattern.IsLeaf(child)) {
+      out->append(";\n");
+    } else {
+      out->append(" {\n");
+      RenderChildren(pattern, alphabet, child, depth + 1, out);
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+      out->append("}\n");
+    }
+  }
+}
+
+}  // namespace
+
+std::string PatternToDsl(const TreePattern& pattern, const Alphabet& alphabet,
+                         std::optional<PatternNodeId> context) {
+  std::string out = "root {\n";
+  RenderChildren(pattern, alphabet, TreePattern::kRoot, 1, &out);
+  out += "}\n";
+  if (!pattern.selected().empty()) {
+    out += "select ";
+    for (size_t i = 0; i < pattern.selected().size(); ++i) {
+      const SelectedNode& s = pattern.selected()[i];
+      // The root cannot be named in the DSL; selections of the root are
+      // not representable (ParsePattern names children only). Callers
+      // should not select the template root.
+      RTP_CHECK_MSG(s.node != TreePattern::kRoot,
+                    "the DSL cannot express selecting the template root");
+      if (i > 0) out += ", ";
+      out += "n" + std::to_string(s.node);
+      out += s.equality == EqualityType::kValue ? "[V]" : "[N]";
+    }
+    out += ";\n";
+  }
+  if (context.has_value()) {
+    out += *context == TreePattern::kRoot
+               ? "context root;\n"
+               : "context n" + std::to_string(*context) + ";\n";
+  }
+  return out;
+}
+
+}  // namespace rtp::pattern

@@ -1,0 +1,22 @@
+#ifndef RTP_PATTERN_PATTERN_WRITER_H_
+#define RTP_PATTERN_PATTERN_WRITER_H_
+
+#include <optional>
+#include <string>
+
+#include "pattern/tree_pattern.h"
+
+namespace rtp::pattern {
+
+// Serializes a tree pattern back to the DSL accepted by ParsePattern
+// (pattern_parser.h), naming every template node n<k>. Round-trips: parsing
+// the output yields a structurally identical pattern (same shape, edge
+// languages, selection and context). Lets programmatically built patterns
+// (XPath compilations, path-FD compilations, generated patterns) be saved
+// and fed to the CLI.
+std::string PatternToDsl(const TreePattern& pattern, const Alphabet& alphabet,
+                         std::optional<PatternNodeId> context = std::nullopt);
+
+}  // namespace rtp::pattern
+
+#endif  // RTP_PATTERN_PATTERN_WRITER_H_

@@ -1,0 +1,127 @@
+#include "pattern/reference_evaluator.h"
+
+#include <algorithm>
+
+namespace rtp::pattern {
+
+using xml::Document;
+using xml::kInvalidNode;
+using xml::NodeId;
+
+namespace {
+
+// The unique descending path from `from` to `to` (exclusive of `from`,
+// inclusive of `to`), or nullopt when `to` is not a proper descendant.
+std::optional<std::vector<NodeId>> DescendingPath(const Document& doc,
+                                                  NodeId from, NodeId to) {
+  std::vector<NodeId> path;
+  NodeId cur = to;
+  while (cur != kInvalidNode && cur != from) {
+    path.push_back(cur);
+    cur = doc.parent(cur);
+  }
+  if (cur != from || path.empty()) return std::nullopt;
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+class ReferenceEnumerator {
+ public:
+  ReferenceEnumerator(const TreePattern& pattern, const Document& doc)
+      : pattern_(pattern), doc_(doc), preorder_(pattern.Preorder()) {
+    doc_.Visit([this](NodeId n) {
+      all_nodes_.push_back(n);
+      return true;
+    });
+  }
+
+  std::vector<Mapping> Run() {
+    Mapping current;
+    current.image.assign(pattern_.NumNodes(), kInvalidNode);
+    Assign(0, &current);
+    return std::move(results_);
+  }
+
+ private:
+  // Assigns the preorder_[index]-th template node to every candidate
+  // document node.
+  void Assign(size_t index, Mapping* current) {
+    if (index == preorder_.size()) {
+      if (IsValidMapping(*current)) results_.push_back(*current);
+      return;
+    }
+    PatternNodeId w = preorder_[index];
+    if (w == TreePattern::kRoot) {
+      current->image[w] = doc_.root();
+      Assign(index + 1, current);
+      current->image[w] = kInvalidNode;
+      return;
+    }
+    for (NodeId v : all_nodes_) {
+      // Cheap pruning that does not change the outcome: the image must be
+      // a proper descendant of the parent's image (condition (3) implies
+      // it; checking here keeps the search feasible).
+      if (!doc_.IsAncestorOrSelf(current->image[pattern_.parent(w)], v) ||
+          v == current->image[pattern_.parent(w)]) {
+        continue;
+      }
+      current->image[w] = v;
+      Assign(index + 1, current);
+      current->image[w] = kInvalidNode;
+    }
+  }
+
+  bool IsValidMapping(const Mapping& m) const {
+    // (1) root condition.
+    if (m.image[TreePattern::kRoot] != doc_.root()) return false;
+
+    // (2) order preservation over all template-node pairs.
+    for (size_t i = 0; i < preorder_.size(); ++i) {
+      for (size_t j = i + 1; j < preorder_.size(); ++j) {
+        NodeId a = m.image[preorder_[i]];
+        NodeId b = m.image[preorder_[j]];
+        if (!doc_.DocumentOrderLess(a, b)) return false;
+      }
+    }
+
+    // (3) every edge realized by a descending path in its language.
+    std::vector<std::vector<NodeId>> paths(pattern_.NumNodes());
+    for (PatternNodeId w = 1; w < pattern_.NumNodes(); ++w) {
+      auto path =
+          DescendingPath(doc_, m.image[pattern_.parent(w)], m.image[w]);
+      if (!path.has_value()) return false;
+      std::vector<LabelId> word;
+      word.reserve(path->size());
+      for (NodeId n : *path) word.push_back(doc_.label(n));
+      if (!pattern_.edge(w).Matches(word)) return false;
+      paths[w] = std::move(*path);
+    }
+
+    // (4) no common prefix among sibling edges' paths: the paths of two
+    // edges leaving the same template node must differ at the first step.
+    for (PatternNodeId w = 0; w < pattern_.NumNodes(); ++w) {
+      const std::vector<PatternNodeId>& kids = pattern_.children(w);
+      for (size_t i = 0; i < kids.size(); ++i) {
+        for (size_t j = i + 1; j < kids.size(); ++j) {
+          if (paths[kids[i]].front() == paths[kids[j]].front()) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const TreePattern& pattern_;
+  const Document& doc_;
+  std::vector<PatternNodeId> preorder_;
+  std::vector<NodeId> all_nodes_;
+  std::vector<Mapping> results_;
+};
+
+}  // namespace
+
+std::vector<Mapping> ReferenceEnumerateMappings(const TreePattern& pattern,
+                                                const xml::Document& doc) {
+  return ReferenceEnumerator(pattern, doc).Run();
+}
+
+}  // namespace rtp::pattern

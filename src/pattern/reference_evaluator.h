@@ -1,0 +1,31 @@
+#ifndef RTP_PATTERN_REFERENCE_EVALUATOR_H_
+#define RTP_PATTERN_REFERENCE_EVALUATOR_H_
+
+#include <vector>
+
+#include "pattern/evaluator.h"
+#include "pattern/tree_pattern.h"
+#include "xml/document.h"
+
+namespace rtp::pattern {
+
+// A literal transcription of Definition 2, used as the specification
+// oracle in property tests (and nowhere else: it enumerates all candidate
+// image assignments and is exponential in the template size).
+//
+// For every assignment of document nodes to template nodes it checks,
+// directly against the definition:
+//   (1) the template root maps to the document root,
+//   (2) w ≺ w' (template preorder) implies π(w) < π(w') (document order),
+//   (3) every template edge is realized by a descending document path
+//       whose label word (endpoint included, start excluded) is in the
+//       edge language,
+//   (4) paths of two edges leaving the same template node share no common
+//       prefix beyond their start node.
+// Returns all mappings in a deterministic order.
+std::vector<Mapping> ReferenceEnumerateMappings(const TreePattern& pattern,
+                                                const xml::Document& doc);
+
+}  // namespace rtp::pattern
+
+#endif  // RTP_PATTERN_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,107 @@
+#include "pattern/tree_pattern.h"
+
+#include <algorithm>
+
+namespace rtp::pattern {
+
+PatternNodeId TreePattern::AddChild(PatternNodeId parent, regex::Regex edge) {
+  RTP_CHECK(parent < nodes_.size());
+  PatternNodeId id = static_cast<PatternNodeId>(nodes_.size());
+  Node node;
+  node.parent = parent;
+  node.edge = std::move(edge);
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+bool TreePattern::IsAncestorOrSelf(PatternNodeId ancestor,
+                                   PatternNodeId w) const {
+  for (PatternNodeId cur = w;; cur = nodes_[cur].parent) {
+    if (cur == ancestor) return true;
+    if (cur == kRoot) return false;
+  }
+}
+
+std::vector<PatternNodeId> TreePattern::Preorder() const {
+  std::vector<PatternNodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<PatternNodeId> stack = {kRoot};
+  while (!stack.empty()) {
+    PatternNodeId w = stack.back();
+    stack.pop_back();
+    order.push_back(w);
+    const auto& kids = nodes_[w].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+int64_t TreePattern::Size(const Alphabet& alphabet) const {
+  int64_t size = static_cast<int64_t>(alphabet.size());
+  for (PatternNodeId w = 1; w < nodes_.size(); ++w) {
+    size += nodes_[w].edge->AutomatonSize();
+  }
+  return size;
+}
+
+size_t TreePattern::MaxArity() const {
+  size_t arity = 0;
+  for (const Node& node : nodes_) {
+    arity = std::max(arity, node.children.size());
+  }
+  return arity;
+}
+
+Status TreePattern::Validate() const {
+  for (PatternNodeId w = 1; w < nodes_.size(); ++w) {
+    if (!nodes_[w].edge->IsProper()) {
+      return InvalidArgumentError(
+          "pattern edge " + std::to_string(w) +
+          " has a non-proper expression (accepts the empty word)");
+    }
+  }
+  for (const SelectedNode& s : selected_) {
+    if (s.node >= nodes_.size()) {
+      return InvalidArgumentError("selected node out of range");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void Render(const TreePattern& p, const Alphabet& alphabet, PatternNodeId w,
+            int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (w == TreePattern::kRoot) {
+    out->append("root");
+  } else {
+    out->append("-[");
+    out->append(p.edge(w).ToString(alphabet));
+    out->append("]-> n");
+    out->append(std::to_string(w));
+  }
+  for (size_t i = 0; i < p.selected().size(); ++i) {
+    if (p.selected()[i].node == w) {
+      out->append(" $");
+      out->append(std::to_string(i));
+      out->append(p.selected()[i].equality == EqualityType::kValue ? "[V]"
+                                                                   : "[N]");
+    }
+  }
+  out->push_back('\n');
+  for (PatternNodeId c : p.children(w)) {
+    Render(p, alphabet, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string TreePattern::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  Render(*this, alphabet, kRoot, 0, &out);
+  return out;
+}
+
+}  // namespace rtp::pattern

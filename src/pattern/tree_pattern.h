@@ -1,0 +1,100 @@
+#ifndef RTP_PATTERN_TREE_PATTERN_H_
+#define RTP_PATTERN_TREE_PATTERN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/status.h"
+#include "regex/regex.h"
+
+namespace rtp::pattern {
+
+using PatternNodeId = uint32_t;
+inline constexpr PatternNodeId kInvalidPatternNode = UINT32_MAX;
+
+// Equality types attached to selected nodes of a functional dependency
+// (Definition 4): V compares images by value equality, N by node identity.
+enum class EqualityType : uint8_t { kValue, kNode };
+
+struct SelectedNode {
+  PatternNodeId node = kInvalidPatternNode;
+  EqualityType equality = EqualityType::kValue;
+
+  friend bool operator==(const SelectedNode&, const SelectedNode&) = default;
+};
+
+// An n-ary regular tree pattern R = (T, pi) of Definition 1.
+//
+// The template T is a rooted ordered tree whose node 0 is the root (it maps
+// to the document root labeled "/"); each non-root node w carries the proper
+// regular expression labeling the edge (parent(w), w). The selected tuple pi
+// lists template nodes with their equality types (equality types only
+// matter when the pattern is used as a functional dependency).
+class TreePattern {
+ public:
+  TreePattern() { nodes_.emplace_back(); }
+
+  static constexpr PatternNodeId kRoot = 0;
+
+  // Appends a child under `parent` with edge expression `edge`. The
+  // expression must be proper (checked by Validate; RTP_CHECKed here only
+  // for compiled-DFA emptiness of the empty word).
+  PatternNodeId AddChild(PatternNodeId parent, regex::Regex edge);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  PatternNodeId parent(PatternNodeId w) const { return nodes_[w].parent; }
+  const std::vector<PatternNodeId>& children(PatternNodeId w) const {
+    return nodes_[w].children;
+  }
+  bool IsLeaf(PatternNodeId w) const { return nodes_[w].children.empty(); }
+
+  // Edge expression of the edge (parent(w), w); w must not be the root.
+  const regex::Regex& edge(PatternNodeId w) const {
+    RTP_CHECK(w != kRoot && w < nodes_.size());
+    return *nodes_[w].edge;
+  }
+
+  const std::vector<SelectedNode>& selected() const { return selected_; }
+  void set_selected(std::vector<SelectedNode> selected) {
+    selected_ = std::move(selected);
+  }
+  void AddSelected(PatternNodeId w,
+                   EqualityType equality = EqualityType::kValue) {
+    selected_.push_back(SelectedNode{w, equality});
+  }
+
+  bool IsAncestorOrSelf(PatternNodeId ancestor, PatternNodeId w) const;
+
+  // Template nodes in preorder (document order of the template).
+  std::vector<PatternNodeId> Preorder() const;
+
+  // |R| = |Sigma| + sum of edge-automaton sizes (Definition 1).
+  int64_t Size(const Alphabet& alphabet) const;
+
+  // Maximal arity (max number of children of a template node).
+  size_t MaxArity() const;
+
+  // Checks structural invariants: proper edge expressions, selected nodes
+  // in range.
+  Status Validate() const;
+
+  // Multi-line debug rendering.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  struct Node {
+    PatternNodeId parent = kInvalidPatternNode;
+    std::vector<PatternNodeId> children;
+    std::optional<regex::Regex> edge;  // nullopt for the root
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<SelectedNode> selected_;
+};
+
+}  // namespace rtp::pattern
+
+#endif  // RTP_PATTERN_TREE_PATTERN_H_

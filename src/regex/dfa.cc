@@ -1,0 +1,432 @@
+#include "regex/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "common/hashing.h"
+
+namespace rtp::regex {
+
+namespace {
+
+struct VectorHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 0;
+    for (int32_t x : v) h = HashMix(h, static_cast<uint64_t>(x) + 1);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Dfa Dfa::FromNfa(const Nfa& nfa) {
+  Dfa dfa;
+  std::unordered_map<std::vector<int32_t>, int32_t, VectorHash> ids;
+  std::deque<std::vector<int32_t>> work;
+
+  auto intern_set = [&](std::vector<int32_t> set) -> int32_t {
+    if (set.empty()) return kDeadState;
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    int32_t id = static_cast<int32_t>(dfa.states_.size());
+    dfa.states_.emplace_back();
+    bool acc = std::binary_search(set.begin(), set.end(), nfa.accepting());
+    dfa.states_[id].accepting = acc;
+    ids.emplace(set, id);
+    work.push_back(std::move(set));
+    return id;
+  };
+
+  std::vector<int32_t> init = {nfa.initial()};
+  nfa.EpsilonClosure(&init);
+  dfa.initial_ = intern_set(std::move(init));
+
+  while (!work.empty()) {
+    std::vector<int32_t> set = std::move(work.front());
+    work.pop_front();
+    int32_t id = ids.at(set);
+
+    // Collect moves: per explicit symbol, plus the 'any' move.
+    std::map<LabelId, std::vector<int32_t>> sym_moves;
+    std::vector<int32_t> any_move;
+    for (int32_t s : set) {
+      for (const Nfa::Edge& e : nfa.EdgesFrom(s)) {
+        if (e.kind == Nfa::EdgeKind::kSymbol) {
+          sym_moves[e.symbol].push_back(e.target);
+        } else if (e.kind == Nfa::EdgeKind::kAny) {
+          any_move.push_back(e.target);
+        }
+      }
+    }
+    auto normalize = [&nfa](std::vector<int32_t> v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      nfa.EpsilonClosure(&v);
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return v;
+    };
+
+    std::vector<int32_t> any_closure = normalize(any_move);
+    int32_t otherwise = intern_set(any_closure);
+    dfa.states_[id].otherwise = otherwise;
+    for (auto& [symbol, targets] : sym_moves) {
+      std::vector<int32_t> merged = targets;
+      merged.insert(merged.end(), any_move.begin(), any_move.end());
+      int32_t target = intern_set(normalize(std::move(merged)));
+      if (target != otherwise) {
+        dfa.states_[id].next.emplace(symbol, target);
+      }
+    }
+  }
+  return dfa.Trim();
+}
+
+Dfa Dfa::FromWord(std::span<const LabelId> word) {
+  Dfa dfa;
+  dfa.states_.resize(word.size() + 1);
+  for (size_t i = 0; i < word.size(); ++i) {
+    dfa.states_[i].next.emplace(word[i], static_cast<int32_t>(i) + 1);
+  }
+  dfa.states_.back().accepting = true;
+  dfa.initial_ = 0;
+  return dfa;
+}
+
+Dfa Dfa::FromStates(std::vector<State> states, int32_t initial) {
+  Dfa dfa;
+  dfa.states_ = std::move(states);
+  dfa.initial_ = initial;
+  RTP_CHECK(initial >= 0 && initial < dfa.NumStates());
+  return dfa;
+}
+
+Dfa Dfa::EmptyLanguage() {
+  Dfa dfa;
+  dfa.states_.resize(1);
+  dfa.initial_ = 0;
+  return dfa;
+}
+
+Dfa Dfa::UniversalLanguage() {
+  Dfa dfa;
+  dfa.states_.resize(1);
+  dfa.states_[0].accepting = true;
+  dfa.states_[0].otherwise = 0;
+  dfa.initial_ = 0;
+  return dfa;
+}
+
+int64_t Dfa::NumTransitions() const {
+  int64_t n = 0;
+  for (const State& s : states_) {
+    n += static_cast<int64_t>(s.next.size());
+    if (s.otherwise != kDeadState) ++n;
+  }
+  return n;
+}
+
+bool Dfa::Accepts(std::span<const LabelId> word) const {
+  int32_t s = initial_;
+  for (LabelId a : word) {
+    s = Next(s, a);
+    if (s == kDeadState) return false;
+  }
+  return accepting(s);
+}
+
+Dfa Dfa::Product(const Dfa& a, const Dfa& b, BoolOp op) {
+  // Pair states; kDeadState is a valid member of a pair for kOr/kDiff.
+  Dfa out;
+  std::map<std::pair<int32_t, int32_t>, int32_t> ids;
+  std::deque<std::pair<int32_t, int32_t>> work;
+
+  auto alive = [&](int32_t sa, int32_t sb) {
+    switch (op) {
+      case BoolOp::kAnd:
+        return sa != kDeadState && sb != kDeadState;
+      case BoolOp::kOr:
+        return sa != kDeadState || sb != kDeadState;
+      case BoolOp::kDiff:
+        return sa != kDeadState;
+    }
+    return false;
+  };
+  auto accepting = [&](int32_t sa, int32_t sb) {
+    bool aa = a.accepting(sa);
+    bool bb = b.accepting(sb);
+    switch (op) {
+      case BoolOp::kAnd:
+        return aa && bb;
+      case BoolOp::kOr:
+        return aa || bb;
+      case BoolOp::kDiff:
+        return aa && !bb;
+    }
+    return false;
+  };
+  auto intern = [&](int32_t sa, int32_t sb) -> int32_t {
+    if (!alive(sa, sb)) return kDeadState;
+    auto key = std::make_pair(sa, sb);
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    int32_t id = static_cast<int32_t>(out.states_.size());
+    out.states_.emplace_back();
+    out.states_[id].accepting = accepting(sa, sb);
+    ids.emplace(key, id);
+    work.push_back(key);
+    return id;
+  };
+
+  out.initial_ = intern(a.initial_, b.initial_);
+  if (out.initial_ == kDeadState) return EmptyLanguage();
+
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop_front();
+    int32_t id = ids.at({sa, sb});
+    // Union of explicit keys from both sides.
+    std::set<LabelId> keys;
+    if (sa != kDeadState) {
+      for (const auto& [k, _] : a.states_[sa].next) keys.insert(k);
+    }
+    if (sb != kDeadState) {
+      for (const auto& [k, _] : b.states_[sb].next) keys.insert(k);
+    }
+    int32_t other = intern(sa == kDeadState ? kDeadState : a.states_[sa].otherwise,
+                           sb == kDeadState ? kDeadState : b.states_[sb].otherwise);
+    out.states_[id].otherwise = other;
+    for (LabelId k : keys) {
+      int32_t target = intern(a.Next(sa, k), b.Next(sb, k));
+      if (target != other) out.states_[id].next.emplace(k, target);
+    }
+  }
+  return out.Trim();
+}
+
+Dfa Dfa::Intersection(const Dfa& a, const Dfa& b) {
+  return Product(a, b, BoolOp::kAnd);
+}
+Dfa Dfa::UnionOf(const Dfa& a, const Dfa& b) {
+  return Product(a, b, BoolOp::kOr);
+}
+Dfa Dfa::Difference(const Dfa& a, const Dfa& b) {
+  return Product(a, b, BoolOp::kDiff);
+}
+
+Dfa Dfa::Complement() const {
+  // Make total by materializing the dead sink, then flip accepting flags.
+  Dfa out = *this;
+  int32_t sink = static_cast<int32_t>(out.states_.size());
+  out.states_.emplace_back();
+  out.states_[sink].otherwise = sink;
+  for (State& s : out.states_) {
+    if (s.otherwise == kDeadState) s.otherwise = sink;
+    for (auto& [k, v] : s.next) {
+      if (v == kDeadState) v = sink;
+    }
+  }
+  for (State& s : out.states_) s.accepting = !s.accepting;
+  return out;
+}
+
+Dfa Dfa::Trim() const {
+  int32_t n = NumStates();
+  // Forward reachability.
+  std::vector<bool> reach(n, false);
+  std::deque<int32_t> work = {initial_};
+  reach[initial_] = true;
+  while (!work.empty()) {
+    int32_t s = work.front();
+    work.pop_front();
+    auto push = [&](int32_t t) {
+      if (t != kDeadState && !reach[t]) {
+        reach[t] = true;
+        work.push_back(t);
+      }
+    };
+    for (const auto& [_, t] : states_[s].next) push(t);
+    push(states_[s].otherwise);
+  }
+  // Backward: can reach accepting. Build reverse adjacency (ignoring labels).
+  std::vector<std::vector<int32_t>> rev(n);
+  for (int32_t s = 0; s < n; ++s) {
+    for (const auto& [_, t] : states_[s].next) {
+      if (t != kDeadState) rev[t].push_back(s);
+    }
+    if (states_[s].otherwise != kDeadState) rev[states_[s].otherwise].push_back(s);
+  }
+  std::vector<bool> productive(n, false);
+  for (int32_t s = 0; s < n; ++s) {
+    if (states_[s].accepting && !productive[s]) {
+      productive[s] = true;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    int32_t s = work.front();
+    work.pop_front();
+    for (int32_t p : rev[s]) {
+      if (!productive[p]) {
+        productive[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+
+  std::vector<int32_t> remap(n, kDeadState);
+  Dfa out;
+  for (int32_t s = 0; s < n; ++s) {
+    if (reach[s] && productive[s]) {
+      remap[s] = static_cast<int32_t>(out.states_.size());
+      out.states_.emplace_back();
+    }
+  }
+  if (remap[initial_] == kDeadState) return EmptyLanguage();
+  out.initial_ = remap[initial_];
+  for (int32_t s = 0; s < n; ++s) {
+    if (remap[s] == kDeadState) continue;
+    State& dst = out.states_[remap[s]];
+    dst.accepting = states_[s].accepting;
+    int32_t other = states_[s].otherwise;
+    dst.otherwise = other == kDeadState ? kDeadState : remap[other];
+    for (const auto& [k, t] : states_[s].next) {
+      int32_t mt = t == kDeadState ? kDeadState : remap[t];
+      if (mt != dst.otherwise) dst.next.emplace(k, mt);
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::Minimize() const {
+  Dfa trimmed = Trim();
+  int32_t n = trimmed.NumStates();
+  if (n == 0) return trimmed;
+
+  // Global explicit-key set: outside it, every state behaves per `otherwise`.
+  std::set<LabelId> keys;
+  for (const State& s : trimmed.states_) {
+    for (const auto& [k, _] : s.next) keys.insert(k);
+  }
+
+  // Moore refinement. Class of kDeadState is -1.
+  std::vector<int32_t> cls(n);
+  for (int32_t s = 0; s < n; ++s) cls[s] = trimmed.states_[s].accepting ? 1 : 0;
+  auto class_of = [&](int32_t s) { return s == kDeadState ? -1 : cls[s]; };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int32_t>, int32_t> sig_ids;
+    std::vector<int32_t> new_cls(n);
+    for (int32_t s = 0; s < n; ++s) {
+      std::vector<int32_t> sig;
+      sig.reserve(keys.size() + 2);
+      sig.push_back(cls[s]);
+      for (LabelId k : keys) sig.push_back(class_of(trimmed.Next(s, k)));
+      sig.push_back(class_of(trimmed.states_[s].otherwise));
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<int32_t>(sig_ids.size()));
+      new_cls[s] = it->second;
+      (void)inserted;
+    }
+    if (new_cls != cls) {
+      cls = std::move(new_cls);
+      changed = true;
+    }
+  }
+
+  int32_t num_classes = *std::max_element(cls.begin(), cls.end()) + 1;
+  Dfa out;
+  out.states_.resize(num_classes);
+  out.initial_ = cls[trimmed.initial_];
+  std::vector<bool> done(num_classes, false);
+  for (int32_t s = 0; s < n; ++s) {
+    int32_t c = cls[s];
+    if (done[c]) continue;
+    done[c] = true;
+    State& dst = out.states_[c];
+    dst.accepting = trimmed.states_[s].accepting;
+    int32_t other = trimmed.states_[s].otherwise;
+    dst.otherwise = other == kDeadState ? kDeadState : cls[other];
+    for (LabelId k : keys) {
+      int32_t t = trimmed.Next(s, k);
+      int32_t mt = t == kDeadState ? kDeadState : cls[t];
+      if (mt != dst.otherwise) dst.next.emplace(k, mt);
+    }
+  }
+  return out;
+}
+
+bool Dfa::IsEmpty() const {
+  std::vector<bool> seen(states_.size(), false);
+  std::deque<int32_t> work = {initial_};
+  seen[initial_] = true;
+  while (!work.empty()) {
+    int32_t s = work.front();
+    work.pop_front();
+    if (states_[s].accepting) return false;
+    auto push = [&](int32_t t) {
+      if (t != kDeadState && !seen[t]) {
+        seen[t] = true;
+        work.push_back(t);
+      }
+    };
+    for (const auto& [_, t] : states_[s].next) push(t);
+    push(states_[s].otherwise);
+  }
+  return true;
+}
+
+std::optional<std::vector<LabelId>> Dfa::ShortestWord(Alphabet* alphabet) const {
+  struct Step {
+    int32_t prev;
+    LabelId symbol;
+  };
+  std::vector<Step> steps(states_.size(), Step{kDeadState, kInvalidLabel});
+  std::vector<bool> seen(states_.size(), false);
+  std::deque<int32_t> work = {initial_};
+  seen[initial_] = true;
+  int32_t found = kDeadState;
+  while (!work.empty() && found == kDeadState) {
+    int32_t s = work.front();
+    work.pop_front();
+    if (states_[s].accepting) {
+      found = s;
+      break;
+    }
+    auto visit = [&](int32_t t, LabelId a) {
+      if (t != kDeadState && !seen[t]) {
+        seen[t] = true;
+        steps[t] = Step{s, a};
+        work.push_back(t);
+      }
+    };
+    for (const auto& [k, t] : states_[s].next) visit(t, k);
+    if (states_[s].otherwise != kDeadState) {
+      // Pick any interned label not explicitly distinguished here.
+      LabelId rep = kInvalidLabel;
+      for (LabelId id = 0; id < alphabet->size(); ++id) {
+        if (states_[s].next.find(id) == states_[s].next.end()) {
+          rep = id;
+          break;
+        }
+      }
+      if (rep == kInvalidLabel) {
+        rep = alphabet->Intern("l$" + std::to_string(alphabet->size()));
+      }
+      visit(states_[s].otherwise, rep);
+    }
+  }
+  if (found == kDeadState) return std::nullopt;
+  std::vector<LabelId> word;
+  for (int32_t s = found; s != initial_;) {
+    word.push_back(steps[s].symbol);
+    s = steps[s].prev;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+}  // namespace rtp::regex

@@ -1,0 +1,111 @@
+#ifndef RTP_REGEX_DFA_H_
+#define RTP_REGEX_DFA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "regex/nfa.h"
+#include "regex/regex_ast.h"
+
+namespace rtp::regex {
+
+inline constexpr int32_t kDeadState = -1;
+
+// Deterministic finite automaton over LabelIds.
+//
+// The label alphabet is open-ended (labels are interned on demand), so each
+// state carries explicit transitions for the labels it distinguishes plus an
+// `otherwise` transition covering every other label. kDeadState (-1) is the
+// implicit rejecting sink.
+class Dfa {
+ public:
+  struct State {
+    std::map<LabelId, int32_t> next;  // ordered for deterministic output
+    int32_t otherwise = kDeadState;
+    bool accepting = false;
+  };
+
+  Dfa() = default;
+
+  // Subset construction.
+  static Dfa FromNfa(const Nfa& nfa);
+  static Dfa FromAst(const RegexNode& ast) { return FromNfa(Nfa::FromAst(ast)); }
+
+  // DFA accepting exactly the given single word.
+  static Dfa FromWord(std::span<const LabelId> word);
+
+  // Builds directly from explicit states (used by hedge automata, whose
+  // horizontal languages are DFAs over tree-automaton state ids).
+  static Dfa FromStates(std::vector<State> states, int32_t initial);
+
+  // DFA accepting nothing / every word (including the empty one).
+  static Dfa EmptyLanguage();
+  static Dfa UniversalLanguage();
+
+  int32_t initial() const { return initial_; }
+  int32_t NumStates() const { return static_cast<int32_t>(states_.size()); }
+  int64_t NumTransitions() const;
+  const State& state(int32_t s) const { return states_[s]; }
+
+  bool accepting(int32_t s) const {
+    return s != kDeadState && states_[s].accepting;
+  }
+
+  // One step; `s` may be kDeadState (stays dead).
+  int32_t Next(int32_t s, LabelId a) const {
+    if (s == kDeadState) return kDeadState;
+    const State& st = states_[s];
+    auto it = st.next.find(a);
+    return it != st.next.end() ? it->second : st.otherwise;
+  }
+
+  bool Accepts(std::span<const LabelId> word) const;
+
+  // Language algebra. Results are trimmed but not minimized.
+  static Dfa Intersection(const Dfa& a, const Dfa& b);
+  static Dfa UnionOf(const Dfa& a, const Dfa& b);
+  static Dfa Difference(const Dfa& a, const Dfa& b);
+  Dfa Complement() const;
+
+  // Removes states that are unreachable or cannot reach an accepting state
+  // (redirecting their incoming transitions to kDeadState).
+  Dfa Trim() const;
+
+  // Moore partition-refinement minimization (input is trimmed first).
+  Dfa Minimize() const;
+
+  bool IsEmpty() const;
+
+  // L(this) ⊆ L(other).
+  bool IsSubsetOf(const Dfa& other) const {
+    return Difference(*this, other).IsEmpty();
+  }
+  bool IsEquivalentTo(const Dfa& other) const {
+    return IsSubsetOf(other) && other.IsSubsetOf(*this);
+  }
+
+  // Shortest accepted word, or nullopt if the language is empty. When a
+  // shortest path uses an `otherwise` edge, a representative label not
+  // explicitly distinguished by the state is chosen from `alphabet`,
+  // interning a fresh label if every interned one is distinguished.
+  std::optional<std::vector<LabelId>> ShortestWord(Alphabet* alphabet) const;
+
+  // True iff the empty word is accepted (a pattern edge regex must be
+  // proper, i.e. this must be false).
+  bool AcceptsEmptyWord() const { return accepting(initial_); }
+
+ private:
+  enum class BoolOp { kAnd, kOr, kDiff };
+  static Dfa Product(const Dfa& a, const Dfa& b, BoolOp op);
+
+  std::vector<State> states_;
+  int32_t initial_ = 0;
+};
+
+}  // namespace rtp::regex
+
+#endif  // RTP_REGEX_DFA_H_

@@ -1,0 +1,97 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+
+namespace rtp::regex {
+
+Nfa Nfa::FromAst(const RegexNode& ast) {
+  Nfa nfa;
+  auto [entry, exit] = nfa.Build(ast);
+  nfa.initial_ = entry;
+  nfa.accepting_ = exit;
+  return nfa;
+}
+
+std::pair<int32_t, int32_t> Nfa::Build(const RegexNode& node) {
+  switch (node.kind) {
+    case RegexKind::kSymbol: {
+      int32_t a = NewState();
+      int32_t b = NewState();
+      AddEdge(a, EdgeKind::kSymbol, node.symbol, b);
+      return {a, b};
+    }
+    case RegexKind::kAny: {
+      int32_t a = NewState();
+      int32_t b = NewState();
+      AddEdge(a, EdgeKind::kAny, kInvalidLabel, b);
+      return {a, b};
+    }
+    case RegexKind::kConcat: {
+      auto [entry, cur] = Build(*node.children[0]);
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        auto [next_entry, next_exit] = Build(*node.children[i]);
+        AddEdge(cur, EdgeKind::kEpsilon, kInvalidLabel, next_entry);
+        cur = next_exit;
+      }
+      return {entry, cur};
+    }
+    case RegexKind::kUnion: {
+      int32_t a = NewState();
+      int32_t b = NewState();
+      for (const auto& child : node.children) {
+        auto [entry, exit] = Build(*child);
+        AddEdge(a, EdgeKind::kEpsilon, kInvalidLabel, entry);
+        AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, b);
+      }
+      return {a, b};
+    }
+    case RegexKind::kStar: {
+      int32_t a = NewState();
+      int32_t b = NewState();
+      auto [entry, exit] = Build(*node.children[0]);
+      AddEdge(a, EdgeKind::kEpsilon, kInvalidLabel, entry);
+      AddEdge(a, EdgeKind::kEpsilon, kInvalidLabel, b);
+      AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, entry);
+      AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, b);
+      return {a, b};
+    }
+    case RegexKind::kPlus: {
+      auto [entry, exit] = Build(*node.children[0]);
+      int32_t b = NewState();
+      AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, entry);
+      AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, b);
+      return {entry, b};
+    }
+    case RegexKind::kOptional: {
+      int32_t a = NewState();
+      int32_t b = NewState();
+      auto [entry, exit] = Build(*node.children[0]);
+      AddEdge(a, EdgeKind::kEpsilon, kInvalidLabel, entry);
+      AddEdge(a, EdgeKind::kEpsilon, kInvalidLabel, b);
+      AddEdge(exit, EdgeKind::kEpsilon, kInvalidLabel, b);
+      return {a, b};
+    }
+  }
+  RTP_CHECK(false);
+  return {0, 0};
+}
+
+void Nfa::EpsilonClosure(std::vector<int32_t>* states) const {
+  std::vector<int32_t> stack(*states);
+  std::vector<bool> seen(edges_.size(), false);
+  for (int32_t s : *states) seen[s] = true;
+  while (!stack.empty()) {
+    int32_t s = stack.back();
+    stack.pop_back();
+    for (const Edge& e : edges_[s]) {
+      if (e.kind == EdgeKind::kEpsilon && !seen[e.target]) {
+        seen[e.target] = true;
+        states->push_back(e.target);
+        stack.push_back(e.target);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+}  // namespace rtp::regex

@@ -1,0 +1,55 @@
+#ifndef RTP_REGEX_NFA_H_
+#define RTP_REGEX_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "regex/regex_ast.h"
+
+namespace rtp::regex {
+
+// Thompson NFA over LabelIds with epsilon and 'any label' transitions.
+// Single initial state, single accepting state.
+class Nfa {
+ public:
+  enum class EdgeKind : uint8_t { kEpsilon, kSymbol, kAny };
+
+  struct Edge {
+    EdgeKind kind;
+    LabelId symbol;  // kSymbol only
+    int32_t target;
+  };
+
+  // Thompson construction from an AST.
+  static Nfa FromAst(const RegexNode& ast);
+
+  int32_t initial() const { return initial_; }
+  int32_t accepting() const { return accepting_; }
+  int32_t NumStates() const { return static_cast<int32_t>(edges_.size()); }
+  const std::vector<Edge>& EdgesFrom(int32_t state) const {
+    return edges_[state];
+  }
+
+  // Expands `states` (in place) to its epsilon closure. `states` is a
+  // sorted, deduplicated vector and stays so.
+  void EpsilonClosure(std::vector<int32_t>* states) const;
+
+ private:
+  int32_t NewState() {
+    edges_.emplace_back();
+    return static_cast<int32_t>(edges_.size()) - 1;
+  }
+  void AddEdge(int32_t from, EdgeKind kind, LabelId symbol, int32_t to) {
+    edges_[from].push_back(Edge{kind, symbol, to});
+  }
+  // Builds the fragment for `node`, returning {entry, exit} states.
+  std::pair<int32_t, int32_t> Build(const RegexNode& node);
+
+  std::vector<std::vector<Edge>> edges_;
+  int32_t initial_ = 0;
+  int32_t accepting_ = 0;
+};
+
+}  // namespace rtp::regex
+
+#endif  // RTP_REGEX_NFA_H_

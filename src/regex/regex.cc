@@ -1,0 +1,21 @@
+#include "regex/regex.h"
+
+namespace rtp::regex {
+
+StatusOr<Regex> Regex::Parse(Alphabet* alphabet, std::string_view text) {
+  RTP_ASSIGN_OR_RETURN(RegexAst ast, ParseRegex(alphabet, text));
+  Dfa dfa = Dfa::FromAst(*ast).Minimize();
+  return Regex(std::move(ast), std::move(dfa));
+}
+
+Regex Regex::FromAst(RegexAst ast) {
+  Dfa dfa = Dfa::FromAst(*ast).Minimize();
+  return Regex(std::move(ast), std::move(dfa));
+}
+
+Regex Regex::FromAstUnminimized(RegexAst ast) {
+  Dfa dfa = Dfa::FromAst(*ast);
+  return Regex(std::move(ast), std::move(dfa));
+}
+
+}  // namespace rtp::regex

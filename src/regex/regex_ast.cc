@@ -1,0 +1,132 @@
+#include "regex/regex_ast.h"
+
+namespace rtp::regex {
+
+RegexAst Sym(LabelId label) {
+  auto node = std::make_unique<RegexNode>(RegexKind::kSymbol);
+  node->symbol = label;
+  return node;
+}
+
+RegexAst Any() { return std::make_unique<RegexNode>(RegexKind::kAny); }
+
+RegexAst Cat(std::vector<RegexAst> parts) {
+  RTP_CHECK(!parts.empty());
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto node = std::make_unique<RegexNode>(RegexKind::kConcat);
+  node->children = std::move(parts);
+  return node;
+}
+
+RegexAst Alt(std::vector<RegexAst> parts) {
+  RTP_CHECK(!parts.empty());
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto node = std::make_unique<RegexNode>(RegexKind::kUnion);
+  node->children = std::move(parts);
+  return node;
+}
+
+namespace {
+RegexAst Unary(RegexKind kind, RegexAst inner) {
+  auto node = std::make_unique<RegexNode>(kind);
+  node->children.push_back(std::move(inner));
+  return node;
+}
+}  // namespace
+
+RegexAst Star(RegexAst inner) { return Unary(RegexKind::kStar, std::move(inner)); }
+RegexAst Plus(RegexAst inner) { return Unary(RegexKind::kPlus, std::move(inner)); }
+RegexAst Opt(RegexAst inner) { return Unary(RegexKind::kOptional, std::move(inner)); }
+
+RegexAst CloneAst(const RegexNode& node) {
+  auto copy = std::make_unique<RegexNode>(node.kind);
+  copy->symbol = node.symbol;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneAst(*child));
+  }
+  return copy;
+}
+
+bool IsNullable(const RegexNode& node) {
+  switch (node.kind) {
+    case RegexKind::kSymbol:
+    case RegexKind::kAny:
+      return false;
+    case RegexKind::kConcat:
+      for (const auto& c : node.children) {
+        if (!IsNullable(*c)) return false;
+      }
+      return true;
+    case RegexKind::kUnion:
+      for (const auto& c : node.children) {
+        if (IsNullable(*c)) return true;
+      }
+      return false;
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      return true;
+    case RegexKind::kPlus:
+      return IsNullable(*node.children[0]);
+  }
+  return false;
+}
+
+namespace {
+
+// Precedence: union (lowest), concat, postfix (highest).
+void Render(const RegexNode& node, const Alphabet& alphabet, int parent_prec,
+            std::string* out) {
+  auto wrap = [&](int prec, auto&& body) {
+    bool need = prec < parent_prec;
+    if (need) out->push_back('(');
+    body();
+    if (need) out->push_back(')');
+  };
+  switch (node.kind) {
+    case RegexKind::kSymbol:
+      out->append(alphabet.Name(node.symbol));
+      break;
+    case RegexKind::kAny:
+      out->push_back('_');
+      break;
+    case RegexKind::kConcat:
+      wrap(1, [&] {
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          if (i > 0) out->push_back('/');
+          Render(*node.children[i], alphabet, 2, out);
+        }
+      });
+      break;
+    case RegexKind::kUnion:
+      wrap(0, [&] {
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          if (i > 0) out->push_back('|');
+          Render(*node.children[i], alphabet, 1, out);
+        }
+      });
+      break;
+    case RegexKind::kStar:
+      Render(*node.children[0], alphabet, 3, out);
+      out->push_back('*');
+      break;
+    case RegexKind::kPlus:
+      Render(*node.children[0], alphabet, 3, out);
+      out->push_back('+');
+      break;
+    case RegexKind::kOptional:
+      Render(*node.children[0], alphabet, 3, out);
+      out->push_back('?');
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToString(const RegexNode& node, const Alphabet& alphabet) {
+  std::string out;
+  Render(node, alphabet, 0, &out);
+  return out;
+}
+
+}  // namespace rtp::regex

@@ -1,0 +1,61 @@
+#ifndef RTP_REGEX_REGEX_AST_H_
+#define RTP_REGEX_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+
+namespace rtp::regex {
+
+// AST of regular expressions over the label alphabet Sigma.
+//
+// Concrete syntax (the "path" syntax used in edge labels):
+//   union   := concat ('|' concat)*
+//   concat  := postfix ('/' postfix)*
+//   postfix := atom ('*' | '+' | '?')*
+//   atom    := LABEL | '_' | '(' union ')'
+// where LABEL is an XML name, optionally prefixed by '@' (attribute) or the
+// reserved '#text'. '_' matches any single label. Example:
+//   session/candidate/(exam|retake)/_*/mark
+enum class RegexKind : uint8_t {
+  kSymbol,    // one specific label
+  kAny,       // '_': any single label
+  kConcat,
+  kUnion,
+  kStar,
+  kPlus,
+  kOptional,
+};
+
+struct RegexNode {
+  RegexKind kind;
+  LabelId symbol = kInvalidLabel;             // kSymbol
+  std::vector<std::unique_ptr<RegexNode>> children;  // operands
+
+  explicit RegexNode(RegexKind k) : kind(k) {}
+};
+
+using RegexAst = std::unique_ptr<RegexNode>;
+
+// Constructors for programmatic ASTs.
+RegexAst Sym(LabelId label);
+RegexAst Any();
+RegexAst Cat(std::vector<RegexAst> parts);
+RegexAst Alt(std::vector<RegexAst> parts);
+RegexAst Star(RegexAst inner);
+RegexAst Plus(RegexAst inner);
+RegexAst Opt(RegexAst inner);
+RegexAst CloneAst(const RegexNode& node);
+
+// True iff the empty word belongs to the language (an expression labeling a
+// pattern edge must be *proper*: not nullable).
+bool IsNullable(const RegexNode& node);
+
+// Renders the AST back to the concrete path syntax.
+std::string ToString(const RegexNode& node, const Alphabet& alphabet);
+
+}  // namespace rtp::regex
+
+#endif  // RTP_REGEX_REGEX_AST_H_

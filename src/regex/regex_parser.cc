@@ -1,0 +1,132 @@
+#include "regex/regex_parser.h"
+
+#include <cctype>
+
+namespace rtp::regex {
+
+namespace {
+
+bool IsLabelStart(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '@' || c == '#' ||
+         c == '_';
+}
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+class RegexParser {
+ public:
+  RegexParser(Alphabet* alphabet, std::string_view input)
+      : alphabet_(alphabet), input_(input) {}
+
+  StatusOr<RegexAst> Parse() {
+    RTP_ASSIGN_OR_RETURN(RegexAst ast, ParseUnion());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Error("unexpected character '" + std::string(1, input_[pos_]) + "'");
+    }
+    return ast;
+  }
+
+ private:
+  Status Error(std::string msg) const {
+    return ParseError("regex: " + msg + " at offset " + std::to_string(pos_) +
+                      " in \"" + std::string(input_) + "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char PeekNonSpace() {
+    SkipSpace();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  StatusOr<RegexAst> ParseUnion() {
+    std::vector<RegexAst> parts;
+    RTP_ASSIGN_OR_RETURN(RegexAst first, ParseConcat());
+    parts.push_back(std::move(first));
+    while (Eat('|')) {
+      RTP_ASSIGN_OR_RETURN(RegexAst next, ParseConcat());
+      parts.push_back(std::move(next));
+    }
+    return Alt(std::move(parts));
+  }
+
+  StatusOr<RegexAst> ParseConcat() {
+    std::vector<RegexAst> parts;
+    RTP_ASSIGN_OR_RETURN(RegexAst first, ParsePostfix());
+    parts.push_back(std::move(first));
+    while (Eat('/')) {
+      RTP_ASSIGN_OR_RETURN(RegexAst next, ParsePostfix());
+      parts.push_back(std::move(next));
+    }
+    return Cat(std::move(parts));
+  }
+
+  StatusOr<RegexAst> ParsePostfix() {
+    RTP_ASSIGN_OR_RETURN(RegexAst ast, ParseAtom());
+    while (true) {
+      char c = PeekNonSpace();
+      if (c == '*') {
+        ++pos_;
+        ast = Star(std::move(ast));
+      } else if (c == '+') {
+        ++pos_;
+        ast = Plus(std::move(ast));
+      } else if (c == '?') {
+        ++pos_;
+        ast = Opt(std::move(ast));
+      } else {
+        return ast;
+      }
+    }
+  }
+
+  StatusOr<RegexAst> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Error("unexpected end of input");
+    char c = input_[pos_];
+    if (c == '(') {
+      ++pos_;
+      RTP_ASSIGN_OR_RETURN(RegexAst inner, ParseUnion());
+      if (!Eat(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (!IsLabelStart(c)) {
+      return Error(std::string("expected a label, '_' or '(', got '") + c + "'");
+    }
+    size_t start = pos_;
+    ++pos_;
+    while (pos_ < input_.size() && IsLabelChar(input_[pos_])) ++pos_;
+    std::string_view name = input_.substr(start, pos_ - start);
+    if (name == "_") return Any();
+    return Sym(alphabet_->Intern(name));
+  }
+
+  Alphabet* alphabet_;
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RegexAst> ParseRegex(Alphabet* alphabet, std::string_view input) {
+  return RegexParser(alphabet, input).Parse();
+}
+
+}  // namespace rtp::regex

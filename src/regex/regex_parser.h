@@ -1,0 +1,17 @@
+#ifndef RTP_REGEX_REGEX_PARSER_H_
+#define RTP_REGEX_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "regex/regex_ast.h"
+
+namespace rtp::regex {
+
+// Parses the path regex syntax documented in regex_ast.h. Labels are
+// interned into `alphabet`.
+StatusOr<RegexAst> ParseRegex(Alphabet* alphabet, std::string_view input);
+
+}  // namespace rtp::regex
+
+#endif  // RTP_REGEX_REGEX_PARSER_H_

@@ -1,0 +1,46 @@
+#include "update/update_class.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rtp::update {
+
+StatusOr<UpdateClass> UpdateClass::Create(pattern::TreePattern pattern) {
+  RTP_RETURN_IF_ERROR(pattern.Validate());
+  if (pattern.selected().empty()) {
+    return InvalidArgumentError(
+        "an update class must select at least one node to update");
+  }
+  return UpdateClass(std::move(pattern));
+}
+
+StatusOr<UpdateClass> UpdateClass::FromParsed(pattern::ParsedPattern parsed) {
+  return Create(std::move(parsed.pattern));
+}
+
+bool UpdateClass::SelectedAreLeaves() const {
+  for (const pattern::SelectedNode& s : pattern_.selected()) {
+    if (!pattern_.IsLeaf(s.node)) return false;
+  }
+  return true;
+}
+
+std::vector<xml::NodeId> UpdateClass::SelectNodes(
+    const xml::Document& doc) const {
+  pattern::MatchTables tables = pattern::MatchTables::Build(pattern_, doc);
+  pattern::MappingEnumerator enumerator(tables);
+  std::set<xml::NodeId> nodes;
+  enumerator.ForEach([&](const pattern::Mapping& m) {
+    for (const pattern::SelectedNode& s : pattern_.selected()) {
+      nodes.insert(m.image[s.node]);
+    }
+    return true;
+  });
+  std::vector<xml::NodeId> out(nodes.begin(), nodes.end());
+  std::sort(out.begin(), out.end(), [&doc](xml::NodeId a, xml::NodeId b) {
+    return doc.DocumentOrderLess(a, b);
+  });
+  return out;
+}
+
+}  // namespace rtp::update

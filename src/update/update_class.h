@@ -1,0 +1,44 @@
+#ifndef RTP_UPDATE_UPDATE_CLASS_H_
+#define RTP_UPDATE_UPDATE_CLASS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+#include "pattern/tree_pattern.h"
+#include "xml/document.h"
+
+namespace rtp::update {
+
+// A class of updates U (Section 4): a regular tree pattern whose selected
+// nodes are the nodes to be updated. Two updates belong to the same class
+// iff they share this node-selecting pattern; the concrete modification u
+// performed at the selected nodes is arbitrary (see update_ops.h).
+class UpdateClass {
+ public:
+  // The pattern needs at least one selected node. Equality types on
+  // selected nodes are ignored.
+  static StatusOr<UpdateClass> Create(pattern::TreePattern pattern);
+  static StatusOr<UpdateClass> FromParsed(pattern::ParsedPattern parsed);
+
+  const pattern::TreePattern& pattern() const { return pattern_; }
+
+  // True iff every selected node is a leaf of the template — the
+  // restriction under which the paper's independence criterion applies
+  // (Section 5): it guarantees the U-trace survives the update.
+  bool SelectedAreLeaves() const;
+
+  // Distinct document nodes selected for update, in document order.
+  std::vector<xml::NodeId> SelectNodes(const xml::Document& doc) const;
+
+ private:
+  explicit UpdateClass(pattern::TreePattern pattern)
+      : pattern_(std::move(pattern)) {}
+
+  pattern::TreePattern pattern_;
+};
+
+}  // namespace rtp::update
+
+#endif  // RTP_UPDATE_UPDATE_CLASS_H_

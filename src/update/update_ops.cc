@@ -1,0 +1,116 @@
+#include "update/update_ops.h"
+
+#include <algorithm>
+
+namespace rtp::update {
+
+using xml::Document;
+using xml::kInvalidNode;
+using xml::NodeId;
+using xml::NodeType;
+
+namespace {
+
+// Validates that `op` can be applied at `n` before any mutation happens.
+Status CheckApplicable(const Document& doc, NodeId n,
+                       const UpdateOperation& op) {
+  if (std::holds_alternative<SetValue>(op)) {
+    if (doc.type(n) == NodeType::kElement) {
+      return InvalidArgumentError(
+          "SetValue requires an attribute or text node, got element <" +
+          doc.label_name(n) + ">");
+    }
+  } else if (std::holds_alternative<AppendChild>(op) ||
+             std::holds_alternative<DeleteChildren>(op)) {
+    if (doc.type(n) != NodeType::kElement) {
+      return InvalidArgumentError(
+          "operation requires an element node, got a leaf");
+    }
+  } else if (std::holds_alternative<ReplaceSubtree>(op) ||
+             std::holds_alternative<DeleteSelf>(op)) {
+    if (n == doc.root()) {
+      return InvalidArgumentError("cannot replace or delete the document root");
+    }
+  }
+  return Status::OK();
+}
+
+void TransformSubtreeValues(Document* doc, NodeId n,
+                            const TransformValues& op) {
+  doc->VisitFrom(n, [doc, &op](NodeId v) {
+    if (doc->type(v) != NodeType::kElement) {
+      doc->set_value(v, op.fn(doc->value(v)));
+    }
+    return true;
+  });
+}
+
+// Returns the post-update root of the modified region.
+NodeId ApplyAt(Document* doc, NodeId n, const UpdateOperation& op) {
+  if (const auto* replace = std::get_if<ReplaceSubtree>(&op)) {
+    return doc->ReplaceSubtree(n, *replace->replacement, replace->root);
+  }
+  if (const auto* set_value = std::get_if<SetValue>(&op)) {
+    doc->set_value(n, set_value->value);
+    return n;
+  }
+  if (const auto* transform = std::get_if<TransformValues>(&op)) {
+    TransformSubtreeValues(doc, n, *transform);
+    return n;
+  }
+  if (const auto* append = std::get_if<AppendChild>(&op)) {
+    doc->CopySubtree(*append->subtree, append->root, n);
+    return n;
+  }
+  if (std::holds_alternative<DeleteChildren>(op)) {
+    for (NodeId c : doc->Children(n)) doc->DetachSubtree(c);
+    return n;
+  }
+  RTP_CHECK(std::holds_alternative<DeleteSelf>(op));
+  NodeId parent = doc->parent(n);
+  doc->DetachSubtree(n);
+  return parent;
+}
+
+}  // namespace
+
+StatusOr<ApplyStats> ApplyOperationAt(Document* doc,
+                                      const std::vector<NodeId>& nodes,
+                                      const UpdateOperation& operation) {
+  // Drop nodes nested below another selected node: in preorder, a node is
+  // nested iff the most recent kept node is one of its ancestors.
+  std::vector<NodeId> ordered = nodes;
+  std::sort(ordered.begin(), ordered.end(), [doc](NodeId a, NodeId b) {
+    return doc->DocumentOrderLess(a, b);
+  });
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+  std::vector<NodeId> roots;
+  for (NodeId n : ordered) {
+    if (!roots.empty() && doc->IsAncestorOrSelf(roots.back(), n)) continue;
+    roots.push_back(n);
+  }
+  for (NodeId n : roots) {
+    RTP_RETURN_IF_ERROR(CheckApplicable(*doc, n, operation));
+  }
+  // Reverse document order keeps earlier nodes' positions stable.
+  std::sort(roots.begin(), roots.end(), [doc](NodeId a, NodeId b) {
+    return doc->DocumentOrderLess(b, a);
+  });
+  ApplyStats stats;
+  stats.nodes_updated = roots.size();
+  stats.updated_roots.reserve(roots.size());
+  for (NodeId n : roots) {
+    stats.updated_roots.push_back(ApplyAt(doc, n, operation));
+  }
+  return stats;
+}
+
+StatusOr<ApplyStats> ApplyUpdate(Document* doc, const Update& update) {
+  if (update.update_class == nullptr) {
+    return InvalidArgumentError("update has no update class");
+  }
+  std::vector<NodeId> nodes = update.update_class->SelectNodes(*doc);
+  return ApplyOperationAt(doc, nodes, update.operation);
+}
+
+}  // namespace rtp::update

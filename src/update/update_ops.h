@@ -1,0 +1,90 @@
+#ifndef RTP_UPDATE_UPDATE_OPS_H_
+#define RTP_UPDATE_UPDATE_OPS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "update/update_class.h"
+#include "xml/document.h"
+
+namespace rtp::update {
+
+// Concrete update operations u. The paper models every update as replacing
+// the subtree rooted at a selected node by a new subtree (insertions and
+// deletions being updates of the parent node); the operations here are
+// convenient special cases of that model.
+
+// Replaces the subtree rooted at the selected node by a copy of
+// replacement(root).
+struct ReplaceSubtree {
+  std::shared_ptr<const xml::Document> replacement;
+  xml::NodeId root;
+};
+
+// Sets the string value of a selected attribute/text leaf.
+struct SetValue {
+  std::string value;
+};
+
+// Rewrites the value of every attribute/text node in the selected subtree
+// (the selected node itself if it is a leaf). Used for value-dependent
+// updates such as the paper's q1 ("decrease the level to the level just
+// below").
+struct TransformValues {
+  std::function<std::string(std::string_view)> fn;
+};
+
+// Appends a copy of subtree(root) as the last child of the selected
+// element node. The paper's q2 ("add a child node comment to the level
+// node") is of this form.
+struct AppendChild {
+  std::shared_ptr<const xml::Document> subtree;
+  xml::NodeId root;
+};
+
+// Removes all children of the selected element node.
+struct DeleteChildren {};
+
+// Detaches the selected subtree entirely. In the paper's model this is an
+// update of the parent node; provided here as a convenience.
+struct DeleteSelf {};
+
+using UpdateOperation =
+    std::variant<ReplaceSubtree, SetValue, TransformValues, AppendChild,
+                 DeleteChildren, DeleteSelf>;
+
+// An update q = u o U: the selecting class plus the operation performed at
+// each selected node.
+struct Update {
+  const UpdateClass* update_class = nullptr;  // not owned
+  UpdateOperation operation;
+};
+
+struct ApplyStats {
+  // Selected nodes, after dropping those nested below another selected
+  // node (the ancestor's replacement subsumes them).
+  size_t nodes_updated = 0;
+  // Post-update roots of the modified regions: the updated nodes
+  // themselves for in-place operations, the replacement copies for
+  // ReplaceSubtree, the parents for DeleteSelf. Consumed by incremental
+  // FD maintenance (fd/fd_index.h).
+  std::vector<xml::NodeId> updated_roots;
+};
+
+// Applies `update` to `doc` in place. Selected nodes are processed in
+// reverse document order; a selected node with a selected proper ancestor
+// is skipped. Fails (without modifying the document) if the operation is
+// incompatible with some selected node's type, e.g. SetValue on an element.
+StatusOr<ApplyStats> ApplyUpdate(xml::Document* doc, const Update& update);
+
+// Applies the operation at explicitly given nodes (no pattern evaluation).
+StatusOr<ApplyStats> ApplyOperationAt(xml::Document* doc,
+                                      const std::vector<xml::NodeId>& nodes,
+                                      const UpdateOperation& operation);
+
+}  // namespace rtp::update
+
+#endif  // RTP_UPDATE_UPDATE_OPS_H_

@@ -1,0 +1,59 @@
+#include "workload/bib_generator.h"
+
+#include <random>
+
+#include "common/check.h"
+
+namespace rtp::workload {
+
+using xml::Document;
+using xml::NodeId;
+
+Document GenerateBibDocument(Alphabet* alphabet,
+                             const BibWorkloadParams& params) {
+  std::mt19937_64 rng(params.seed);
+  Document doc(alphabet);
+  NodeId bib = doc.AddElement(doc.root(), "bib");
+  uint32_t paper_counter = 0;
+  for (uint32_t c = 0; c < params.num_confs; ++c) {
+    NodeId conf = doc.AddElement(bib, "conf");
+    doc.AddAttribute(conf, "@name", "conf" + std::to_string(c % 5));
+    NodeId year = doc.AddElement(conf, "year");
+    doc.AddText(year, std::to_string(2000 + c));
+    for (uint32_t p = 0; p < params.papers_per_conf; ++p) {
+      NodeId paper = doc.AddElement(conf, "paper");
+      NodeId title = doc.AddElement(paper, "title");
+      uint32_t title_id = params.num_titles == 0
+                              ? paper_counter
+                              : static_cast<uint32_t>(rng() % params.num_titles);
+      doc.AddText(title, "T" + std::to_string(title_id));
+      for (uint32_t a = 0; a < params.authors_per_paper; ++a) {
+        NodeId author = doc.AddElement(paper, "author");
+        doc.AddText(author, "A" + std::to_string(rng() % 50));
+      }
+      NodeId pages = doc.AddElement(paper, "pages");
+      doc.AddText(pages, std::to_string(1 + rng() % 20) + "pp");
+      ++paper_counter;
+    }
+  }
+  return doc;
+}
+
+schema::Schema BuildBibSchema(Alphabet* alphabet) {
+  auto schema = schema::Schema::Parse(alphabet, R"(
+    schema {
+      root bib;
+      element bib { conf* }
+      element conf { @name / year / paper* }
+      element year { #text }
+      element paper { title / author+ / pages? }
+      element title { #text }
+      element author { #text }
+      element pages { #text }
+    }
+  )");
+  RTP_CHECK_MSG(schema.ok(), schema.status().ToString().c_str());
+  return std::move(schema).value();
+}
+
+}  // namespace rtp::workload

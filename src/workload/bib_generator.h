@@ -1,0 +1,44 @@
+#ifndef RTP_WORKLOAD_BIB_GENERATOR_H_
+#define RTP_WORKLOAD_BIB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "schema/schema.h"
+#include "xml/document.h"
+
+namespace rtp::workload {
+
+// A second evaluation domain: bibliographies — the classic setting of the
+// XML key/FD literature the paper's introduction surveys.
+//
+//   bib
+//   └ conf*      @name, year, paper*
+//       paper    title, author+, pages?
+//
+// Canonical constraints (see BibKeyTexts below):
+//   K_title  within a conf, the title identifies the paper node (a key),
+//   F_pages  within a conf, equal titles imply equal pages,
+//   F_year   two confs with the same @name have ... (cross-conf FD).
+struct BibWorkloadParams {
+  uint32_t num_confs = 10;
+  uint32_t papers_per_conf = 20;
+  uint32_t num_titles = 0;  // 0 = distinct per paper (keys hold)
+  uint32_t authors_per_paper = 2;
+  uint64_t seed = 7;
+};
+
+xml::Document GenerateBibDocument(Alphabet* alphabet,
+                                  const BibWorkloadParams& params);
+
+// The bib schema (DTD-like).
+schema::Schema BuildBibSchema(Alphabet* alphabet);
+
+// Path-FD texts ([8]-style, ready for fd::ParseAndCompilePathFd).
+inline constexpr const char* kBibTitleKey =
+    "(/bib/conf, (paper/title) -> paper[N])";
+inline constexpr const char* kBibPagesFd =
+    "(/bib/conf, (paper/title) -> paper/pages)";
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_BIB_GENERATOR_H_

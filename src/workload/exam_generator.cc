@@ -1,0 +1,103 @@
+#include "workload/exam_generator.h"
+
+#include <random>
+#include <string>
+
+namespace rtp::workload {
+
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+NodeId AddTextElement(Document* doc, NodeId parent, std::string_view label,
+                      std::string_view text) {
+  NodeId e = doc->AddElement(parent, label);
+  doc->AddText(e, text);
+  return e;
+}
+
+void AddExam(Document* doc, NodeId candidate, std::string_view discipline,
+             std::string_view date, std::string_view mark,
+             std::string_view rank) {
+  NodeId exam = doc->AddElement(candidate, "exam");
+  AddTextElement(doc, exam, "discipline", discipline);
+  AddTextElement(doc, exam, "date", date);
+  AddTextElement(doc, exam, "mark", mark);
+  AddTextElement(doc, exam, "rank", rank);
+}
+
+}  // namespace
+
+Document BuildPaperFigure1Document(Alphabet* alphabet) {
+  Document doc(alphabet);
+  NodeId session = doc.AddElement(doc.root(), "session");
+
+  NodeId c1 = doc.AddElement(session, "candidate");
+  doc.AddAttribute(c1, "@IDN", "001");
+  AddExam(&doc, c1, "math", "2009-06-12", "15", "2");
+  AddExam(&doc, c1, "physics", "2009-06-15", "12", "5");
+  AddTextElement(&doc, c1, "level", "B");
+  NodeId tbp = doc.AddElement(c1, "toBePassed");
+  AddTextElement(&doc, tbp, "discipline", "chemistry");
+
+  NodeId c2 = doc.AddElement(session, "candidate");
+  doc.AddAttribute(c2, "@IDN", "012");
+  AddExam(&doc, c2, "math", "2009-06-12", "15", "2");
+  AddExam(&doc, c2, "biology", "2009-06-15", "10", "7");
+  AddTextElement(&doc, c2, "level", "C");
+  AddTextElement(&doc, c2, "firstJob-Year", "2012");
+
+  return doc;
+}
+
+Document GenerateExamDocument(Alphabet* alphabet,
+                              const ExamWorkloadParams& params) {
+  std::mt19937_64 rng(params.seed);
+  Document doc(alphabet);
+  NodeId session = doc.AddElement(doc.root(), "session");
+
+  auto rand_int = [&rng](uint32_t n) {
+    return static_cast<uint32_t>(rng() % (n == 0 ? 1 : n));
+  };
+
+  for (uint32_t i = 0; i < params.num_candidates; ++i) {
+    NodeId candidate = doc.AddElement(session, "candidate");
+    char idn[16];
+    std::snprintf(idn, sizeof(idn), "%06u", i);
+    doc.AddAttribute(candidate, "@IDN", idn);
+
+    for (uint32_t e = 0; e < params.exams_per_candidate; ++e) {
+      uint32_t discipline = rand_int(params.num_disciplines);
+      uint32_t mark = rand_int(params.num_marks);
+      uint32_t date = rand_int(params.num_dates);
+      // Consistent ranks make the rank a function of (discipline, mark) so
+      // fd1 holds on the generated document.
+      uint32_t rank = params.consistent_ranks
+                          ? (discipline * 31 + mark * 7) % 20 + 1
+                          : rand_int(20) + 1;
+      AddExam(&doc, candidate, "d" + std::to_string(discipline),
+              "2009-06-" + std::to_string(date + 1),
+              std::to_string(mark), std::to_string(rank));
+    }
+
+    AddTextElement(&doc, candidate, "level",
+                   std::string(1, static_cast<char>(
+                                      'A' + rand_int(params.num_levels))));
+
+    bool to_be_passed =
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+        params.to_be_passed_fraction;
+    if (to_be_passed) {
+      NodeId tbp = doc.AddElement(candidate, "toBePassed");
+      AddTextElement(&doc, tbp, "discipline",
+                     "d" + std::to_string(rand_int(params.num_disciplines)));
+    } else {
+      AddTextElement(&doc, candidate, "firstJob-Year",
+                     std::to_string(2010 + rand_int(10)));
+    }
+  }
+  return doc;
+}
+
+}  // namespace rtp::workload

@@ -1,0 +1,54 @@
+#ifndef RTP_WORKLOAD_EXAM_GENERATOR_H_
+#define RTP_WORKLOAD_EXAM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace rtp::workload {
+
+// Builds the exam-session document of Figure 1 of the paper:
+//
+//   /
+//   └ session
+//     ├ candidate @IDN=001
+//     │  ├ exam {discipline math,    date 2009-06-12, mark 15, rank 2}
+//     │  ├ exam {discipline physics, date 2009-06-15, mark 12, rank 5}
+//     │  ├ level B
+//     │  └ toBePassed { discipline chemistry }
+//     └ candidate @IDN=012
+//        ├ exam {discipline math,    date 2009-06-12, mark 15, rank 2}
+//        ├ exam {discipline biology, date 2009-06-15, mark 10, rank 7}
+//        ├ level C
+//        └ firstJob-Year 2012
+//
+// Exam children are ordered discipline, date, mark, rank; candidate
+// children are ordered @IDN, exam*, level, (toBePassed | firstJob-Year).
+xml::Document BuildPaperFigure1Document(Alphabet* alphabet);
+
+// Parameters for the scalable exam-session generator used by benchmarks.
+// The generated documents follow the same shape as Figure 1.
+struct ExamWorkloadParams {
+  uint32_t num_candidates = 100;
+  uint32_t exams_per_candidate = 4;
+  uint32_t num_disciplines = 8;   // value domain of <discipline>
+  uint32_t num_marks = 21;        // marks in [0, num_marks)
+  uint32_t num_dates = 30;
+  uint32_t num_levels = 5;        // 'A'..'E'
+  // Fraction (0..1) of candidates with a toBePassed child; the rest get
+  // firstJob-Year.
+  double to_be_passed_fraction = 0.5;
+  // When true, ranks are assigned consistently per (discipline, mark) so
+  // fd1 of the paper holds; when false, ranks are random (fd1 violations
+  // likely).
+  bool consistent_ranks = true;
+  uint64_t seed = 42;
+};
+
+// Deterministic (seeded) generator of exam-session documents.
+xml::Document GenerateExamDocument(Alphabet* alphabet,
+                                   const ExamWorkloadParams& params);
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_EXAM_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "workload/exam_schema.h"
+
+#include "common/check.h"
+
+namespace rtp::workload {
+
+namespace {
+
+schema::Schema MustParseSchema(Alphabet* alphabet, std::string_view text) {
+  auto parsed = schema::Schema::Parse(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+schema::Schema BuildExamSchema(Alphabet* alphabet) {
+  return MustParseSchema(alphabet, R"(
+    schema {
+      root session;
+      element session { candidate* }
+      element candidate { @IDN / exam* / level / (toBePassed|firstJob-Year) }
+      element exam { discipline / date / mark / rank }
+      element discipline { #text }
+      element date { #text }
+      element mark { #text }
+      element rank { #text }
+      element level { #text / comment* }
+      element comment { #text }
+      element toBePassed { discipline+ }
+      element firstJob-Year { #text }
+    }
+  )");
+}
+
+schema::Schema BuildPermissiveExamSchema(Alphabet* alphabet) {
+  return MustParseSchema(alphabet, R"(
+    schema {
+      root session;
+      element session { candidate* }
+      element candidate { @IDN / exam* / level / toBePassed? / firstJob-Year? }
+      element exam { discipline / date / mark / rank }
+      element discipline { #text }
+      element date { #text }
+      element mark { #text }
+      element rank { #text }
+      element level { #text / comment* }
+      element comment { #text }
+      element toBePassed { discipline+ }
+      element firstJob-Year { #text }
+    }
+  )");
+}
+
+}  // namespace rtp::workload

@@ -1,0 +1,18 @@
+#ifndef RTP_WORKLOAD_EXAM_SCHEMA_H_
+#define RTP_WORKLOAD_EXAM_SCHEMA_H_
+
+#include "schema/schema.h"
+
+namespace rtp::workload {
+
+// The schema of Example 6: every candidate has a toBePassed child or a
+// firstJob-Year child, but not both.
+schema::Schema BuildExamSchema(Alphabet* alphabet);
+
+// A permissive variant allowing a candidate to carry both toBePassed and
+// firstJob-Year (used to show the criterion depends on the schema).
+schema::Schema BuildPermissiveExamSchema(Alphabet* alphabet);
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_EXAM_SCHEMA_H_

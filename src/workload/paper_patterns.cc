@@ -1,0 +1,164 @@
+#include "workload/paper_patterns.h"
+
+#include "common/check.h"
+
+namespace rtp::workload {
+
+namespace {
+
+pattern::ParsedPattern MustParse(Alphabet* alphabet, std::string_view text) {
+  auto parsed = pattern::ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+pattern::ParsedPattern PaperR1(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session {
+        s1 = candidate/exam;
+        s2 = candidate/exam;
+      }
+    }
+    select s1, s2;
+  )");
+}
+
+pattern::ParsedPattern PaperR2(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session {
+        candidate {
+          s1 = exam;
+          s2 = exam;
+        }
+      }
+    }
+    select s1, s2;
+  )");
+}
+
+pattern::ParsedPattern PaperR3(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session {
+        candidate {
+          exam;
+          s = level;
+        }
+      }
+    }
+    select s;
+  )");
+}
+
+pattern::ParsedPattern PaperR4(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session {
+        candidate {
+          s = level;
+          exam;
+        }
+      }
+    }
+    select s;
+  )");
+}
+
+pattern::ParsedPattern PaperFd1(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      c = session {
+        x = candidate/exam {
+          p1 = discipline;
+          p2 = mark;
+          q = rank;
+        }
+      }
+    }
+    select p1[V], p2[V], q[V];
+    context c;
+  )");
+}
+
+pattern::ParsedPattern PaperFd2(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session {
+        c = candidate {
+          x = exam {
+            p2 = discipline;
+            p1 = date;
+          }
+        }
+      }
+    }
+    select p1[V], p2[V], x[N];
+    context c;
+  )");
+}
+
+pattern::ParsedPattern PaperFd3(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      c = session {
+        x = candidate {
+          p1 = exam/mark;
+          p2 = exam/mark;
+          q = level;
+        }
+      }
+    }
+    select p1[V], p2[V], q[V];
+    context c;
+  )");
+}
+
+pattern::ParsedPattern PaperFd4(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      c = session {
+        x = candidate {
+          p1 = exam/mark;
+          p2 = exam/mark;
+          q = level;
+          toBePassed;
+        }
+      }
+    }
+    select p1[V], p2[V], q[V];
+    context c;
+  )");
+}
+
+pattern::ParsedPattern PaperFd5(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      c = session {
+        x = candidate {
+          p = level;
+          q = firstJob-Year;
+        }
+      }
+    }
+    select p[V], q[V];
+    context c;
+  )");
+}
+
+pattern::ParsedPattern PaperUpdateU(Alphabet* alphabet) {
+  return MustParse(alphabet, R"(
+    root {
+      session/candidate {
+        s = level;
+        toBePassed;
+      }
+    }
+    select s;
+  )");
+}
+
+}  // namespace rtp::workload

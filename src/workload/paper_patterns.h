@@ -1,0 +1,60 @@
+#ifndef RTP_WORKLOAD_PAPER_PATTERNS_H_
+#define RTP_WORKLOAD_PAPER_PATTERNS_H_
+
+#include "pattern/pattern_parser.h"
+
+namespace rtp::workload {
+
+// The regular tree patterns of the paper's figures, built through the
+// pattern DSL. All evaluate against exam-session documents (Figure 1 /
+// GenerateExamDocument shapes).
+//
+// Figure 2: R1 selects pairs of exams of two *different* candidates
+// (condition (b) of Definition 2 forces the two candidate/exam paths to
+// diverge at the session node); R2 selects pairs of exams of the *same*
+// candidate.
+pattern::ParsedPattern PaperR1(Alphabet* alphabet);
+pattern::ParsedPattern PaperR2(Alphabet* alphabet);
+
+// Figure 3: R3 selects level nodes of candidates having at least one exam
+// (exam edge precedes the level edge, as in the document); R4 is the same
+// with the two edges swapped, and therefore selects nothing on documents
+// where exams precede levels.
+pattern::ParsedPattern PaperR3(Alphabet* alphabet);
+pattern::ParsedPattern PaperR4(Alphabet* alphabet);
+
+// Figure 4, fd1: in a session, two exams on the same discipline evaluated
+// with the same mark share the same rank. Context: session.
+pattern::ParsedPattern PaperFd1(Alphabet* alphabet);
+
+// Figure 4, fd2: a candidate cannot take at the same date two different
+// exams on the same discipline. Context: candidate; target is the exam
+// node with node equality.
+pattern::ParsedPattern PaperFd2(Alphabet* alphabet);
+
+// Figure 5, fd3: two candidates with the same mark in at least two
+// disciplines receive the same level (documents with exams sorted by
+// discipline). Context: session.
+pattern::ParsedPattern PaperFd3(Alphabet* alphabet);
+
+// Figure 5, fd4: like fd3 but restricted to candidates that still have
+// exams to pass (a toBePassed leaf is required in the trace). The paper's
+// exact prose for fd4 is partially lost in our source text; this follows
+// its stated structural requirement (an extra non-selected leaf node
+// labeled toBePassed, inexpressible in the path-based formalism of [8]).
+pattern::ParsedPattern PaperFd4(Alphabet* alphabet);
+
+// Figure 6, fd5: graduated candidates (with a firstJob-Year child) having
+// the same level got their first job the same year. Context: session.
+// Reconstructed from Example 6: fd5 only concerns candidates that do NOT
+// have a toBePassed child.
+pattern::ParsedPattern PaperFd5(Alphabet* alphabet);
+
+// Figure 6, update class U: selects the level node of every candidate that
+// still has exams to pass (a toBePassed sibling). The selected node is a
+// leaf of the template, as required by the independence criterion.
+pattern::ParsedPattern PaperUpdateU(Alphabet* alphabet);
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_PAPER_PATTERNS_H_

@@ -1,0 +1,38 @@
+#ifndef RTP_WORKLOAD_RANDOM_DOCUMENT_H_
+#define RTP_WORKLOAD_RANDOM_DOCUMENT_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/status.h"
+#include "schema/schema.h"
+#include "xml/document.h"
+
+namespace rtp::workload {
+
+struct RandomDocumentParams {
+  uint64_t seed = 1;
+  // Soft bound on children-word lengths: beyond it, the walk takes a
+  // shortest path to an accepting content-model state.
+  size_t soft_max_children = 6;
+  // Beyond this depth, content words are forced minimal. Recursive schemas
+  // whose every element requires deep content may still exceed it; the
+  // generator then fails rather than recursing forever.
+  size_t max_depth = 24;
+  size_t hard_depth_limit = 64;
+  // Leaf values are drawn from {v0, ..., v<value_pool-1>}; a small pool
+  // creates the value collisions functional dependencies care about.
+  uint32_t value_pool = 3;
+  // Weight of taking a transition relative to stopping at an accepting
+  // content-model state; higher values produce bushier documents.
+  uint32_t continue_weight = 3;
+};
+
+// Generates a pseudo-random document valid with respect to `schema` by
+// sampling each element's children word from its content-model DFA.
+StatusOr<xml::Document> GenerateRandomDocument(
+    const schema::Schema& schema, const RandomDocumentParams& params);
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_RANDOM_DOCUMENT_H_

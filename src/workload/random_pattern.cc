@@ -1,0 +1,116 @@
+#include "workload/random_pattern.h"
+
+#include <random>
+
+#include "regex/regex.h"
+
+namespace rtp::workload {
+
+namespace {
+
+LabelId RandomLabel(Alphabet* alphabet, std::mt19937_64* rng,
+                    uint32_t num_labels) {
+  return alphabet->Intern("l" + std::to_string((*rng)() % num_labels));
+}
+
+// Builds a random AST with at most `budget` symbol/wildcard leaves.
+regex::RegexAst RandomAst(Alphabet* alphabet, std::mt19937_64* rng,
+                          const RandomPatternParams& params, uint32_t budget) {
+  if (budget <= 1) {
+    if ((*rng)() % 100 < params.wildcard_percent) return regex::Any();
+    return regex::Sym(RandomLabel(alphabet, rng, params.num_labels));
+  }
+  switch ((*rng)() % 6) {
+    case 0:
+    case 1: {  // concat
+      uint32_t left = 1 + static_cast<uint32_t>((*rng)() % (budget - 1));
+      std::vector<regex::RegexAst> parts;
+      parts.push_back(RandomAst(alphabet, rng, params, left));
+      parts.push_back(RandomAst(alphabet, rng, params, budget - left));
+      return regex::Cat(std::move(parts));
+    }
+    case 2: {  // union
+      uint32_t left = 1 + static_cast<uint32_t>((*rng)() % (budget - 1));
+      std::vector<regex::RegexAst> parts;
+      parts.push_back(RandomAst(alphabet, rng, params, left));
+      parts.push_back(RandomAst(alphabet, rng, params, budget - left));
+      return regex::Alt(std::move(parts));
+    }
+    case 3:
+      return regex::Star(RandomAst(alphabet, rng, params, budget - 1));
+    case 4:
+      return regex::Plus(RandomAst(alphabet, rng, params, budget - 1));
+    default:
+      return regex::Opt(RandomAst(alphabet, rng, params, budget - 1));
+  }
+}
+
+}  // namespace
+
+regex::RegexAst GenerateRandomProperRegex(Alphabet* alphabet,
+                                          const RandomPatternParams& params,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  uint32_t budget =
+      1 + static_cast<uint32_t>(rng() % (params.max_regex_nodes == 0
+                                             ? 1
+                                             : params.max_regex_nodes));
+  regex::RegexAst ast = RandomAst(alphabet, &rng, params, budget);
+  if (regex::IsNullable(*ast)) {
+    // Force properness by prefixing a mandatory symbol.
+    std::vector<regex::RegexAst> parts;
+    parts.push_back(regex::Sym(RandomLabel(alphabet, &rng, params.num_labels)));
+    parts.push_back(std::move(ast));
+    ast = regex::Cat(std::move(parts));
+  }
+  return ast;
+}
+
+pattern::TreePattern GenerateRandomPattern(Alphabet* alphabet,
+                                           const RandomPatternParams& params) {
+  std::mt19937_64 rng(params.seed);
+  pattern::TreePattern tree;
+  uint32_t nodes =
+      1 + static_cast<uint32_t>(rng() % (params.max_template_nodes == 0
+                                             ? 1
+                                             : params.max_template_nodes));
+  for (uint32_t i = 0; i < nodes; ++i) {
+    // Attach under a random existing node (biased toward deeper chains).
+    pattern::PatternNodeId parent = static_cast<pattern::PatternNodeId>(
+        rng() % tree.NumNodes());
+    regex::RegexAst ast = GenerateRandomProperRegex(alphabet, params, rng());
+    tree.AddChild(parent, regex::Regex::FromAst(std::move(ast)));
+  }
+  uint32_t selected = std::min<uint32_t>(
+      params.num_selected, static_cast<uint32_t>(tree.NumNodes() - 1));
+  for (uint32_t i = 0; i < selected; ++i) {
+    pattern::PatternNodeId node = 1 + static_cast<pattern::PatternNodeId>(
+                                          rng() % (tree.NumNodes() - 1));
+    tree.AddSelected(node, (rng() % 4 == 0)
+                               ? pattern::EqualityType::kNode
+                               : pattern::EqualityType::kValue);
+  }
+  return tree;
+}
+
+xml::Document GenerateRandomTree(Alphabet* alphabet,
+                                 const RandomTreeParams& params) {
+  std::mt19937_64 rng(params.seed);
+  xml::Document doc(alphabet);
+  std::vector<xml::NodeId> elements = {doc.root()};
+  uint32_t nodes = 1 + static_cast<uint32_t>(
+                           rng() % (params.max_nodes == 0 ? 1 : params.max_nodes));
+  for (uint32_t i = 0; i < nodes; ++i) {
+    xml::NodeId parent = elements[rng() % elements.size()];
+    bool text = (rng() % 100) < params.text_leaf_percent;
+    if (text) {
+      doc.AddText(parent, "v" + std::to_string(rng() % params.value_pool));
+    } else {
+      LabelId label = RandomLabel(alphabet, &rng, params.num_labels);
+      elements.push_back(doc.AddChild(parent, label, xml::NodeType::kElement));
+    }
+  }
+  return doc;
+}
+
+}  // namespace rtp::workload

@@ -1,0 +1,52 @@
+#ifndef RTP_WORKLOAD_RANDOM_PATTERN_H_
+#define RTP_WORKLOAD_RANDOM_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "regex/regex_ast.h"
+#include "xml/document.h"
+
+namespace rtp::workload {
+
+// Generators for randomized property tests: small patterns, proper edge
+// regexes and unconstrained labeled trees over a shared small label set.
+struct RandomPatternParams {
+  uint64_t seed = 1;
+  // Labels drawn for regex symbols and tree nodes ("l0".."l<k-1>").
+  uint32_t num_labels = 3;
+  uint32_t max_template_nodes = 4;  // besides the root
+  uint32_t max_regex_nodes = 5;
+  // Probability (in percent) that the generated regex uses the wildcard.
+  uint32_t wildcard_percent = 20;
+  uint32_t num_selected = 1;
+};
+
+// A random proper regex AST (never accepts the empty word).
+regex::RegexAst GenerateRandomProperRegex(Alphabet* alphabet,
+                                          const RandomPatternParams& params,
+                                          uint64_t seed);
+
+// A random tree pattern with proper edges and `num_selected` selected
+// nodes (clamped to the template size).
+pattern::TreePattern GenerateRandomPattern(Alphabet* alphabet,
+                                           const RandomPatternParams& params);
+
+struct RandomTreeParams {
+  uint64_t seed = 1;
+  uint32_t num_labels = 3;
+  uint32_t max_nodes = 12;
+  uint32_t value_pool = 2;
+  // Percent of leaves that become text nodes (the rest stay elements).
+  uint32_t text_leaf_percent = 30;
+};
+
+// A random unconstrained document over labels "l0".."l<k-1>".
+xml::Document GenerateRandomTree(Alphabet* alphabet,
+                                 const RandomTreeParams& params);
+
+}  // namespace rtp::workload
+
+#endif  // RTP_WORKLOAD_RANDOM_PATTERN_H_

@@ -1,0 +1,60 @@
+#include "xml/value_equality.h"
+
+#include "common/hashing.h"
+
+namespace rtp::xml {
+
+bool ValueEqual(const Document& a, NodeId na, const Document& b, NodeId nb) {
+  if (a.label_name(na) != b.label_name(nb)) return false;
+  if (a.type(na) != b.type(nb)) return false;
+  if (a.type(na) != NodeType::kElement) return a.value(na) == b.value(nb);
+  NodeId ca = a.first_child(na);
+  NodeId cb = b.first_child(nb);
+  while (ca != kInvalidNode && cb != kInvalidNode) {
+    if (!ValueEqual(a, ca, b, cb)) return false;
+    ca = a.next_sibling(ca);
+    cb = b.next_sibling(cb);
+  }
+  return ca == kInvalidNode && cb == kInvalidNode;
+}
+
+uint64_t SubtreeHash(const Document& d, NodeId n) {
+  uint64_t h = Fnv1a64(d.label_name(n));
+  h = HashMix(h, static_cast<uint64_t>(d.type(n)));
+  if (d.type(n) != NodeType::kElement) {
+    return HashMix(h, Fnv1a64(d.value(n)));
+  }
+  for (NodeId c = d.first_child(n); c != kInvalidNode; c = d.next_sibling(c)) {
+    h = HashMix(h, SubtreeHash(d, c));
+  }
+  return h;
+}
+
+namespace {
+
+void AppendCanonical(const Document& d, NodeId n, std::string* out) {
+  out->push_back('(');
+  out->append(d.label_name(n));
+  out->push_back('\x01');
+  out->push_back(static_cast<char>('0' + static_cast<int>(d.type(n))));
+  if (d.type(n) != NodeType::kElement) {
+    out->push_back('\x02');
+    out->append(d.value(n));
+  } else {
+    for (NodeId c = d.first_child(n); c != kInvalidNode;
+         c = d.next_sibling(c)) {
+      AppendCanonical(d, c, out);
+    }
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string CanonicalForm(const Document& d, NodeId n) {
+  std::string out;
+  AppendCanonical(d, n, &out);
+  return out;
+}
+
+}  // namespace rtp::xml

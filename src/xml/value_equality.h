@@ -1,0 +1,32 @@
+#ifndef RTP_XML_VALUE_EQUALITY_H_
+#define RTP_XML_VALUE_EQUALITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/document.h"
+
+namespace rtp::xml {
+
+// Value equality of Definition 3: same label, same node type, equal string
+// value for attribute/text leaves, and position-wise value-equal children
+// for elements.
+bool ValueEqual(const Document& a, NodeId na, const Document& b, NodeId nb);
+
+inline bool ValueEqual(const Document& d, NodeId a, NodeId b) {
+  return ValueEqual(d, a, d, b);
+}
+
+// Order-preserving structural hash of the subtree rooted at `n`, such that
+// value-equal subtrees hash equal. Used to group subtrees before the exact
+// ValueEqual comparison.
+uint64_t SubtreeHash(const Document& d, NodeId n);
+
+// Canonical textual form of the subtree rooted at `n`; two subtrees are
+// value-equal iff their canonical forms are byte-equal. Intended for
+// debugging and as the exact key in hash-grouping.
+std::string CanonicalForm(const Document& d, NodeId n);
+
+}  // namespace rtp::xml
+
+#endif  // RTP_XML_VALUE_EQUALITY_H_

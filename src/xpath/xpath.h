@@ -1,0 +1,57 @@
+#ifndef RTP_XPATH_XPATH_H_
+#define RTP_XPATH_XPATH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "xml/document.h"
+
+namespace rtp::xpath {
+
+// Compiler from a positive, downward CoreXPath fragment to regular tree
+// patterns — the application the paper's conclusion points at: "our
+// results can thus be applied when the classes of updates are specified
+// with positive queries of CoreXPath".
+//
+// Grammar (absolute paths only):
+//
+//   query     := path ('|' path)*
+//   path      := ('/' | '//') step (('/' | '//') step)*
+//   step      := nodetest predicate*
+//   nodetest  := NAME | '*' | '@' NAME | 'text()'
+//   predicate := '[' relpath ']'
+//   relpath   := ('.//')? step (('/' | '//') step)*
+//
+// '/' is the child axis, '//' descendant-or-self-then-child; predicates
+// are existential. Each top-level union branch compiles to one monadic
+// tree pattern selecting the addressed nodes; predicate-free runs of steps
+// collapse into a single regex-labeled edge (e.g. '//a/*/b' becomes the
+// edge expression `_*/a/_/b`).
+//
+// SEMANTIC CAVEAT (inherent to the target formalism, and the same remark
+// the paper makes about the path-based FDs of [8]): a regular tree pattern
+// imposes (i) document order between sibling template branches and (ii)
+// prefix-divergence between them (condition (b) of Definition 2). A step
+// with predicates therefore matches only nodes whose predicate witnesses
+// occur in the listed order, pairwise in distinct children subtrees, and
+// strictly before the continuation of the path. Predicate-free queries
+// carry no such restriction and compile exactly.
+struct CompiledXPath {
+  // One pattern per top-level union branch; each is monadic (one selected
+  // node: the path target).
+  std::vector<pattern::TreePattern> branches;
+};
+
+StatusOr<CompiledXPath> CompileXPath(Alphabet* alphabet,
+                                     std::string_view query);
+
+// Convenience: evaluates the query on a document and returns the selected
+// nodes (union over branches, document order, deduplicated).
+std::vector<xml::NodeId> EvaluateXPath(const CompiledXPath& compiled,
+                                       const xml::Document& doc);
+
+}  // namespace rtp::xpath
+
+#endif  // RTP_XPATH_XPATH_H_

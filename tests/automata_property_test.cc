@@ -1,0 +1,199 @@
+// Randomized properties of the hedge-automata layer: witness documents are
+// genuine, products agree with component semantics, and the meet product
+// agrees with a direct (evaluator-based) computation of the meet condition.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/pattern_compiler.h"
+#include "automata/product.h"
+#include "pattern/evaluator.h"
+#include "workload/random_pattern.h"
+#include "xml/value_equality.h"
+#include "xml/xml_io.h"
+
+namespace rtp::automata {
+namespace {
+
+using pattern::Mapping;
+using pattern::TreePattern;
+using xml::Document;
+using xml::NodeId;
+
+// Direct computation of the meet condition on a document: is there an
+// A-mapping and a B-mapping such that some B-selected image lies on the
+// A-trace or inside an A-selected subtree?
+bool DirectMeet(const TreePattern& a, const TreePattern& b,
+                const Document& doc) {
+  // Collect all B-selected images over all B-mappings.
+  pattern::MatchTables tables_b = pattern::MatchTables::Build(b, doc);
+  pattern::MappingEnumerator enum_b(tables_b);
+  std::set<NodeId> b_selected;
+  enum_b.ForEach([&](const Mapping& m) {
+    for (const pattern::SelectedNode& s : b.selected()) {
+      b_selected.insert(m.image[s.node]);
+    }
+    return true;
+  });
+  if (b_selected.empty()) return false;
+
+  pattern::MatchTables tables_a = pattern::MatchTables::Build(a, doc);
+  pattern::MappingEnumerator enum_a(tables_a);
+  bool met = false;
+  enum_a.ForEach([&](const Mapping& m) {
+    std::set<NodeId> a_set;
+    for (NodeId n : pattern::TraceOf(doc, m)) a_set.insert(n);
+    for (const pattern::SelectedNode& s : a.selected()) {
+      // Mirror the compiler's refinement: only value-compared selected
+      // nodes contribute their subtrees.
+      if (s.equality != pattern::EqualityType::kValue) continue;
+      doc.VisitFrom(m.image[s.node], [&a_set](NodeId n) {
+        a_set.insert(n);
+        return true;
+      });
+    }
+    for (NodeId n : b_selected) {
+      if (a_set.count(n)) {
+        met = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  return met;
+}
+
+class AutomataPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutomataPropertyTest, WitnessDocumentsContainTraces) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams params;
+  params.seed = seed;
+  TreePattern pattern = workload::GenerateRandomPattern(&alphabet, params);
+  HedgeAutomaton automaton = CompilePattern(pattern, MarkMode::kNone);
+
+  // Pattern languages are never empty (edges are proper and satisfiable).
+  ASSERT_FALSE(automaton.IsEmptyLanguage()) << "seed " << seed;
+  auto witness = automaton.FindWitnessDocument(&alphabet);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(automaton.Accepts(*witness)) << "seed " << seed;
+  pattern::MatchTables tables = pattern::MatchTables::Build(pattern, *witness);
+  EXPECT_TRUE(tables.HasTrace())
+      << "seed " << seed << "\n"
+      << xml::WriteXml(*witness);
+}
+
+TEST_P(AutomataPropertyTest, IntersectionAgreesWithComponents) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams params;
+  params.seed = seed;
+  TreePattern pa = workload::GenerateRandomPattern(&alphabet, params);
+  params.seed = seed + 40000;
+  TreePattern pb = workload::GenerateRandomPattern(&alphabet, params);
+  HedgeAutomaton a = CompilePattern(pa, MarkMode::kNone);
+  HedgeAutomaton b = CompilePattern(pb, MarkMode::kNone);
+  HedgeAutomaton both = Intersect(a, b);
+
+  for (uint64_t doc_seed = 1; doc_seed <= 4; ++doc_seed) {
+    workload::RandomTreeParams tree_params;
+    tree_params.seed = seed * 31337 + doc_seed;
+    tree_params.max_nodes = 10;
+    Document doc = workload::GenerateRandomTree(&alphabet, tree_params);
+    EXPECT_EQ(both.Accepts(doc), a.Accepts(doc) && b.Accepts(doc))
+        << "seed " << seed << "/" << doc_seed;
+  }
+}
+
+TEST_P(AutomataPropertyTest, MeetProductAgreesWithDirectComputation) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams params;
+  params.seed = seed;
+  params.num_selected = 1;
+  TreePattern pa = workload::GenerateRandomPattern(&alphabet, params);
+  params.seed = seed + 80000;
+  TreePattern pb = workload::GenerateRandomPattern(&alphabet, params);
+  if (pa.selected().empty() || pb.selected().empty()) return;
+
+  HedgeAutomaton a = CompilePattern(pa, MarkMode::kTraceAndSelectedSubtrees);
+  HedgeAutomaton b = CompilePattern(pb, MarkMode::kSelectedImagesOnly);
+  HedgeAutomaton meet = MeetProduct(a, b);
+
+  for (uint64_t doc_seed = 1; doc_seed <= 4; ++doc_seed) {
+    workload::RandomTreeParams tree_params;
+    tree_params.seed = seed * 65537 + doc_seed;
+    tree_params.max_nodes = 10;
+    Document doc = workload::GenerateRandomTree(&alphabet, tree_params);
+    EXPECT_EQ(meet.Accepts(doc), DirectMeet(pa, pb, doc))
+        << "seed " << seed << "/" << doc_seed << "\n"
+        << xml::WriteXml(doc);
+  }
+}
+
+TEST_P(AutomataPropertyTest, MeetWitnessSatisfiesDirectComputation) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams params;
+  params.seed = seed * 11;
+  params.num_selected = 1;
+  TreePattern pa = workload::GenerateRandomPattern(&alphabet, params);
+  params.seed = seed * 11 + 120000;
+  TreePattern pb = workload::GenerateRandomPattern(&alphabet, params);
+  if (pa.selected().empty() || pb.selected().empty()) return;
+
+  HedgeAutomaton a = CompilePattern(pa, MarkMode::kTraceAndSelectedSubtrees);
+  HedgeAutomaton b = CompilePattern(pb, MarkMode::kSelectedImagesOnly);
+  HedgeAutomaton meet = MeetProduct(a, b);
+  if (meet.IsEmptyLanguage()) return;
+  auto witness = meet.FindWitnessDocument(&alphabet);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(DirectMeet(pa, pb, *witness))
+      << "seed " << seed << "\n"
+      << xml::WriteXml(*witness);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomataPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, WriteThenParsePreservesValueEquality) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomTreeParams params;
+  params.seed = seed;
+  params.max_nodes = 20;
+  Document doc = workload::GenerateRandomTree(&alphabet, params);
+  if (doc.ChildCount(doc.root()) != 1) return;  // XML needs a single root
+
+  // XML cannot represent adjacent text siblings distinctly (the parser
+  // merges maximal text runs); skip such documents.
+  bool adjacent_text = false;
+  doc.Visit([&](xml::NodeId n) {
+    if (doc.type(n) == xml::NodeType::kText) {
+      xml::NodeId next = doc.next_sibling(n);
+      if (next != xml::kInvalidNode &&
+          doc.type(next) == xml::NodeType::kText) {
+        adjacent_text = true;
+      }
+    }
+    return true;
+  });
+  if (adjacent_text) return;
+
+  std::string text = xml::WriteXml(doc, /*indent=*/false);
+  auto reparsed = xml::ParseXml(&alphabet, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_TRUE(
+      xml::ValueEqual(doc, doc.root(), *reparsed, reparsed->root()))
+      << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtp::automata

@@ -1,0 +1,152 @@
+// End-to-end integration on the bibliography domain: schema validation,
+// key/FD checking via the [8]-style path formalism, update classes from
+// XPath, the independence criterion, incremental maintenance, and views —
+// the whole pipeline on a second workload.
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_checker.h"
+#include "fd/fd_index.h"
+#include "fd/path_fd.h"
+#include "independence/criterion.h"
+#include "independence/impact_search.h"
+#include "update/update_ops.h"
+#include "view/view.h"
+#include "workload/bib_generator.h"
+#include "xml/value_equality.h"
+#include "xpath/xpath.h"
+
+namespace rtp {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class BibIntegrationTest : public ::testing::Test {
+ protected:
+  BibIntegrationTest() : schema_(workload::BuildBibSchema(&alphabet_)) {}
+
+  update::UpdateClass XPathClass(const char* query) {
+    auto compiled = xpath::CompileXPath(&alphabet_, query);
+    RTP_CHECK_MSG(compiled.ok(), compiled.status().ToString().c_str());
+    auto cls = update::UpdateClass::Create(compiled->branches[0]);
+    RTP_CHECK(cls.ok());
+    return std::move(cls).value();
+  }
+
+  Alphabet alphabet_;
+  schema::Schema schema_;
+};
+
+TEST_F(BibIntegrationTest, GeneratedDocumentsAreValid) {
+  workload::BibWorkloadParams params;
+  Document doc = workload::GenerateBibDocument(&alphabet_, params);
+  EXPECT_TRUE(schema_.Validate(doc));
+  EXPECT_GT(doc.LiveNodeCount(), 100u);
+}
+
+TEST_F(BibIntegrationTest, TitleKeyHoldsWithDistinctTitles) {
+  workload::BibWorkloadParams params;
+  params.num_titles = 0;  // distinct titles
+  Document doc = workload::GenerateBibDocument(&alphabet_, params);
+  auto key = fd::ParseAndCompilePathFd(&alphabet_, workload::kBibTitleKey);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(fd::CheckFd(*key, doc).satisfied);
+}
+
+TEST_F(BibIntegrationTest, TitleKeyBreaksWithCollidingTitles) {
+  workload::BibWorkloadParams params;
+  params.num_titles = 3;  // heavy collisions within each conf
+  Document doc = workload::GenerateBibDocument(&alphabet_, params);
+  auto key = fd::ParseAndCompilePathFd(&alphabet_, workload::kBibTitleKey);
+  ASSERT_TRUE(key.ok());
+  EXPECT_FALSE(fd::CheckFd(*key, doc).satisfied);
+}
+
+TEST_F(BibIntegrationTest, CriterionSeparatesUpdateClasses) {
+  auto key = fd::ParseAndCompilePathFd(&alphabet_, workload::kBibTitleKey);
+  ASSERT_TRUE(key.ok());
+
+  // Author rewrites never touch the key (below paper[N], not on the key
+  // path: the node-equality refinement applies).
+  update::UpdateClass authors = XPathClass("/bib/conf/paper/author");
+  auto safe =
+      independence::CheckIndependence(*key, authors, &schema_, &alphabet_);
+  ASSERT_TRUE(safe.ok()) << safe.status().ToString();
+  EXPECT_TRUE(safe->independent);
+
+  // Title rewrites are flagged.
+  update::UpdateClass titles = XPathClass("/bib/conf/paper/title");
+  auto flagged =
+      independence::CheckIndependence(*key, titles, &schema_, &alphabet_);
+  ASSERT_TRUE(flagged.ok());
+  EXPECT_FALSE(flagged->independent);
+
+  // And the flag is justified: impact search finds a real conflict.
+  independence::ImpactSearchParams params;
+  params.num_documents = 50;
+  auto search =
+      independence::SearchForImpact(*key, titles, schema_, params);
+  EXPECT_TRUE(search.impact_found);
+}
+
+TEST_F(BibIntegrationTest, PagesFdAndIncrementalMaintenance) {
+  workload::BibWorkloadParams params;
+  params.num_confs = 20;
+  params.num_titles = 0;
+  Document doc = workload::GenerateBibDocument(&alphabet_, params);
+  auto pages_fd = fd::ParseAndCompilePathFd(&alphabet_, workload::kBibPagesFd);
+  ASSERT_TRUE(pages_fd.ok());
+  ASSERT_TRUE(fd::CheckFd(*pages_fd, doc).satisfied);
+
+  fd::FdIndex index = fd::FdIndex::Build(*pages_fd, doc);
+  EXPECT_TRUE(index.supports_incremental());
+  EXPECT_TRUE(index.satisfied());
+  size_t full_mappings = index.last_pass_mappings();
+
+  // Duplicate one title within a conf with different pages: violated.
+  update::UpdateClass titles = XPathClass("/bib/conf/paper/title");
+  std::vector<NodeId> title_nodes = titles.SelectNodes(doc);
+  ASSERT_GE(title_nodes.size(), 2u);
+  // Make the second title equal to the first (same conf).
+  auto stats = update::ApplyOperationAt(
+      &doc, {title_nodes[1]},
+      update::TransformValues{[&](std::string_view) {
+        return doc.value(doc.first_child(title_nodes[0]));
+      }});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(index.Revalidate(doc, stats->updated_roots));
+  EXPECT_FALSE(fd::CheckFd(*pages_fd, doc).satisfied);
+  // Incremental pass touched only the one affected conf.
+  EXPECT_LT(index.last_pass_mappings(), full_mappings / 4);
+}
+
+TEST_F(BibIntegrationTest, TitleViewIndependentOfAuthorUpdates) {
+  auto parsed = pattern::ParsePattern(&alphabet_, R"(
+    root { s = bib/conf/paper/title; }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto titles_view = view::View::FromParsed(std::move(parsed).value());
+  ASSERT_TRUE(titles_view.ok());
+
+  update::UpdateClass authors = XPathClass("/bib/conf/paper/author");
+  auto verdict = view::CheckViewIndependence(*titles_view, authors, &schema_,
+                                             &alphabet_);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->independent);
+
+  // Concretely: materialization unchanged under an author rewrite.
+  workload::BibWorkloadParams params;
+  Document doc = workload::GenerateBibDocument(&alphabet_, params);
+  Document before = titles_view->Materialize(doc);
+  update::Update q{&authors, update::TransformValues{[](std::string_view) {
+                     return std::string("anonymous");
+                   }}};
+  ASSERT_TRUE(update::ApplyUpdate(&doc, q).ok());
+  Document after = titles_view->Materialize(doc);
+  EXPECT_TRUE(xml::ValueEqual(before, before.root(), after, after.root()));
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,152 @@
+// Mathematical invariants of mapping enumeration: on documents with known
+// combinatorial structure, the number of mappings equals a closed-form
+// count — a sharp end-to-end check of Definition 2's semantics (order
+// condition + prefix divergence).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+
+namespace rtp::pattern {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+ParsedPattern MustParse(Alphabet* alphabet, std::string_view text) {
+  auto parsed = ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+// k sibling edges labeled 'b' under an 'a' node with n 'b' children:
+// ordered distinct choices = C(n, k).
+class ChooseTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChooseTest, SiblingEdgesCountBinomially) {
+  auto [n, k] = GetParam();
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  for (int i = 0; i < n; ++i) doc.AddElement(a, "b");
+
+  std::string text = "root { a { ";
+  for (int i = 0; i < k; ++i) {
+    text += "s" + std::to_string(i) + " = b; ";
+  }
+  text += "} } select s0";
+  for (int i = 1; i < k; ++i) text += ", s" + std::to_string(i);
+  text += ";";
+
+  ParsedPattern p = MustParse(&alphabet, text);
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  EXPECT_EQ(enumerator.Count(), Binomial(n, k)) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NK, ChooseTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(CombinatoricsTest, IndependentBranchesMultiply) {
+  // Two independent branch groups: counts multiply: C(n1,k1) * C(n2,k2).
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId u = doc.AddElement(a, "u");
+  NodeId v = doc.AddElement(a, "v");
+  for (int i = 0; i < 5; ++i) doc.AddElement(u, "x");
+  for (int i = 0; i < 4; ++i) doc.AddElement(v, "y");
+
+  ParsedPattern p = MustParse(&alphabet, R"(
+    root { a { u { s1 = x; s2 = x; } v { s3 = y; s4 = y; s5 = y; } } }
+    select s1, s2, s3, s4, s5;
+  )");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  EXPECT_EQ(enumerator.Count(), Binomial(5, 2) * Binomial(4, 3));
+}
+
+TEST(CombinatoricsTest, ChainsOfChoicesMultiply) {
+  // a -> b (n1 options), each b -> c (n2 options): n1 * n2 mappings for
+  // the two-edge chain pattern.
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  constexpr int kN1 = 4;
+  constexpr int kN2 = 3;
+  for (int i = 0; i < kN1; ++i) {
+    NodeId b = doc.AddElement(a, "b");
+    for (int j = 0; j < kN2; ++j) doc.AddElement(b, "c");
+  }
+  ParsedPattern p = MustParse(&alphabet, "root { a/b { s = c; } } select s;");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  EXPECT_EQ(enumerator.Count(), static_cast<size_t>(kN1 * kN2));
+}
+
+TEST(CombinatoricsTest, DescendantChainCountsDepth) {
+  // Unary chain of n 'a' nodes: pattern a+ has n endpoints from the root's
+  // child; pattern a/a+ has n-1; a+/a+ counts pairs: C(n, 2)... each
+  // mapping = split point: the template path root -a+-> x -a+-> y picks
+  // 1 <= |x| < |y| <= n: C(n, 2).
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId cur = doc.root();
+  constexpr int kDepth = 7;
+  for (int i = 0; i < kDepth; ++i) cur = doc.AddElement(cur, "a");
+
+  ParsedPattern one = MustParse(&alphabet, "root { s = a+; } select s;");
+  MatchTables t1 = MatchTables::Build(one.pattern, doc);
+  EXPECT_EQ(MappingEnumerator(t1).Count(), static_cast<size_t>(kDepth));
+
+  ParsedPattern two =
+      MustParse(&alphabet, "root { a+ { s = a+; } } select s;");
+  MatchTables t2 = MatchTables::Build(two.pattern, doc);
+  EXPECT_EQ(MappingEnumerator(t2).Count(), Binomial(kDepth, 2));
+}
+
+TEST(CombinatoricsTest, PrefixDivergenceEliminatesSharedBranches) {
+  // Complete binary tree of 'n' nodes with depth 3 below 'a'; two sibling
+  // edges n/n/n from 'a' must use different depth-1 children: 2 choices
+  // for the ordered pair... each path picks one leaf in its child's
+  // subtree (4 leaves per side at depth 3 from a: 2*2=4): pairs =
+  // 4 * 4 (left endpoints x right endpoints) with left child < right
+  // child: exactly 1 ordered child pair, so 16.
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  // Build complete binary tree of 'n' labels, depth 3.
+  std::vector<NodeId> level = {a};
+  for (int d = 0; d < 3; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId v : level) {
+      next.push_back(doc.AddElement(v, "n"));
+      next.push_back(doc.AddElement(v, "n"));
+    }
+    level = std::move(next);
+  }
+  ParsedPattern p = MustParse(&alphabet, R"(
+    root { a { s1 = n/n/n; s2 = n/n/n; } }
+    select s1, s2;
+  )");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  EXPECT_EQ(MappingEnumerator(tables).Count(), 16u);
+}
+
+}  // namespace
+}  // namespace rtp::pattern

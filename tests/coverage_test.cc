@@ -1,0 +1,330 @@
+// Focused edge-case coverage across modules: paths less traveled by the
+// main suites.
+
+#include <gtest/gtest.h>
+
+#include "automata/hedge_automaton.h"
+#include "fd/fd_checker.h"
+#include "fd/path_fd.h"
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+#include "schema/schema.h"
+#include "update/update_ops.h"
+#include "workload/exam_generator.h"
+#include "xml/value_equality.h"
+#include "xml/xml_io.h"
+
+namespace rtp {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+pattern::ParsedPattern MustParse(Alphabet* alphabet, std::string_view text) {
+  auto parsed = pattern::ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+// --- Alphabet ---
+
+TEST(AlphabetTest, ReservedLabelsAndKinds) {
+  Alphabet alphabet;
+  EXPECT_EQ(alphabet.Find("/"), Alphabet::kRootLabel);
+  EXPECT_EQ(alphabet.Find("#text"), Alphabet::kTextLabel);
+  EXPECT_EQ(alphabet.Find("nope"), kInvalidLabel);
+  LabelId a = alphabet.Intern("@attr");
+  EXPECT_EQ(alphabet.Kind(a), LabelKind::kAttribute);
+  EXPECT_EQ(alphabet.Kind(Alphabet::kTextLabel), LabelKind::kText);
+  EXPECT_EQ(alphabet.Kind(alphabet.Intern("elem")), LabelKind::kElement);
+  // Interning is idempotent.
+  EXPECT_EQ(alphabet.Intern("@attr"), a);
+}
+
+// --- Guard representatives ---
+
+TEST(GuardTest, RepresentativePrefersInternedElementLabels) {
+  Alphabet alphabet;
+  LabelId e = alphabet.Intern("elem");
+  alphabet.Intern("@attr");
+  automata::Guard any = automata::Guard::Any();
+  EXPECT_EQ(any.RepresentativeElementLabel(&alphabet), e);
+
+  automata::Guard except = automata::Guard::AnyExcept({e});
+  LabelId rep = except.RepresentativeElementLabel(&alphabet);
+  EXPECT_NE(rep, e);
+  EXPECT_EQ(alphabet.Kind(rep), LabelKind::kElement);
+
+  automata::Guard fixed = automata::Guard::Label(e);
+  EXPECT_EQ(fixed.RepresentativeElementLabel(&alphabet), e);
+}
+
+// --- Value equality across documents and deep chains ---
+
+TEST(ValueEqualityTest, CrossDocumentAndDeepChains) {
+  Alphabet alphabet;
+  Document d1(&alphabet);
+  Document d2(&alphabet);
+  NodeId a1 = d1.AddElement(d1.root(), "a");
+  NodeId a2 = d2.AddElement(d2.root(), "a");
+  NodeId cur1 = a1;
+  NodeId cur2 = a2;
+  for (int i = 0; i < 50; ++i) {
+    cur1 = d1.AddElement(cur1, "n");
+    cur2 = d2.AddElement(cur2, "n");
+  }
+  d1.AddText(cur1, "x");
+  d2.AddText(cur2, "x");
+  EXPECT_TRUE(xml::ValueEqual(d1, a1, d2, a2));
+  d2.set_value(d2.first_child(cur2), "y");
+  EXPECT_FALSE(xml::ValueEqual(d1, a1, d2, a2));
+}
+
+// --- FD with node-equality conditions ---
+
+TEST(FdCoverageTest, NodeEqualityCondition) {
+  Alphabet alphabet;
+  // Within the same exam node [N], mark determines rank (trivially since
+  // conditions include the exam identity: each exam is its own group).
+  auto fd = fd::FunctionalDependency::FromParsed(MustParse(&alphabet, R"(
+    root {
+      c = session {
+        x = candidate/exam {
+          p = mark;
+          q = rank;
+        }
+      }
+    }
+    select x[N], p[V], q[V];
+    context c;
+  )"));
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+
+  // Two exams with the same mark but different ranks do NOT violate: their
+  // exam nodes differ, so they are in different groups.
+  Document doc(&alphabet);
+  NodeId session = doc.AddElement(doc.root(), "session");
+  NodeId cand = doc.AddElement(session, "candidate");
+  for (const char* rank : {"1", "2"}) {
+    NodeId exam = doc.AddElement(cand, "exam");
+    NodeId m = doc.AddElement(exam, "mark");
+    doc.AddText(m, "15");
+    NodeId r = doc.AddElement(exam, "rank");
+    doc.AddText(r, rank);
+  }
+  EXPECT_TRUE(fd::CheckFd(*fd, doc).satisfied);
+
+  // An exam with two ranks violates it.
+  NodeId exam = doc.AddElement(cand, "exam");
+  NodeId m = doc.AddElement(exam, "mark");
+  doc.AddText(m, "9");
+  for (const char* rank : {"3", "4"}) {
+    NodeId r = doc.AddElement(exam, "rank");
+    doc.AddText(r, rank);
+  }
+  EXPECT_FALSE(fd::CheckFd(*fd, doc).satisfied);
+}
+
+// --- The ordering remark of Section 3.2: the RTP compiled from a path FD
+// requires sibling witnesses in document order (unlike [8]). ---
+
+TEST(FdCoverageTest, PathFdOrderingRequirement) {
+  Alphabet alphabet;
+  // Conditions listed date-then-discipline: the compiled template requires
+  // a date child BEFORE a discipline child under the exam.
+  auto fd = fd::ParseAndCompilePathFd(
+      &alphabet, "(/session/candidate, (exam/date, exam/discipline) -> exam[N])");
+  ASSERT_TRUE(fd.ok());
+
+  Document doc(&alphabet);
+  NodeId session = doc.AddElement(doc.root(), "session");
+  NodeId cand = doc.AddElement(session, "candidate");
+  NodeId exam = doc.AddElement(cand, "exam");
+  // discipline first, date second: the date-then-discipline template finds
+  // no mapping, so the FD holds vacuously.
+  NodeId disc = doc.AddElement(exam, "discipline");
+  doc.AddText(disc, "math");
+  NodeId date = doc.AddElement(exam, "date");
+  doc.AddText(date, "d1");
+
+  pattern::MatchTables tables =
+      pattern::MatchTables::Build(fd->pattern(), doc);
+  EXPECT_FALSE(tables.HasTrace());
+  EXPECT_TRUE(fd::CheckFd(*fd, doc).satisfied);
+}
+
+// --- Regex parser whitespace and odd labels ---
+
+TEST(RegexCoverageTest, WhitespaceAndOddLabels) {
+  Alphabet alphabet;
+  auto re = regex::Regex::Parse(&alphabet, "  a / ( b | c ) *  ");
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  LabelId a = alphabet.Intern("a");
+  LabelId b = alphabet.Intern("b");
+  std::vector<LabelId> word = {a, b, b};
+  EXPECT_TRUE(re->Matches(word));
+
+  auto odd = regex::Regex::Parse(&alphabet, "first-name/ns:tag/x.y");
+  ASSERT_TRUE(odd.ok()) << odd.status().ToString();
+}
+
+// --- Patterns over attribute and text labels ---
+
+TEST(PatternCoverageTest, AttributeAndTextEdges) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId e = doc.AddElement(doc.root(), "e");
+  doc.AddAttribute(e, "@id", "7");
+  doc.AddText(e, "body");
+
+  auto p = MustParse(&alphabet, R"(
+    root { e { a = @id; t = #text; } }
+    select a, t;
+  )");
+  auto result = pattern::EvaluateSelected(p.pattern, doc);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(doc.value(result[0][0]), "7");
+  EXPECT_EQ(doc.value(result[0][1]), "body");
+}
+
+// --- Schema: nested groups, repetitions, leaf elements ---
+
+TEST(SchemaCoverageTest, ComplexContentModels) {
+  Alphabet alphabet;
+  auto schema = schema::Schema::Parse(&alphabet, R"(
+    schema {
+      root doc;
+      element doc { (head/body)|(body+) }
+      element head { meta* }
+      element meta { @name/@value }
+      element body { (p|div)* }
+      element p { #text? }
+      element div { p* }
+    }
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  auto check = [&](const char* xml_text, bool expected) {
+    auto doc = xml::ParseXml(&alphabet, xml_text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(schema->Validate(*doc), expected) << xml_text;
+  };
+  check("<doc><head/><body/></doc>", true);
+  check("<doc><body/><body><p>x</p></body></doc>", true);
+  check("<doc><head/></doc>", false);
+  check("<doc><head/><body/><body/></doc>", false);
+  check("<doc><body><div><p/><p>t</p></div></body></doc>", true);
+  check("<doc><body><div><div/></div></body></doc>", false);
+  check("<doc><head><meta name=\"a\" value=\"b\"/></head><body/></doc>", true);
+  check("<doc><head><meta name=\"a\"/></head><body/></doc>", false);
+}
+
+// --- Updates: n-ary selections, repeated application ---
+
+TEST(UpdateCoverageTest, NaryUpdateClassSelectsUnion) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  auto parsed = MustParse(&alphabet, R"(
+    root {
+      session/candidate {
+        a = level;
+        b = toBePassed;
+      }
+    }
+    select a, b;
+  )");
+  auto cls = update::UpdateClass::FromParsed(std::move(parsed));
+  ASSERT_TRUE(cls.ok());
+  std::vector<NodeId> nodes = cls->SelectNodes(doc);
+  // Only candidate 001 has both level-then-toBePassed: its level and
+  // toBePassed nodes.
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(doc.label_name(nodes[0]), "level");
+  EXPECT_EQ(doc.label_name(nodes[1]), "toBePassed");
+}
+
+TEST(UpdateCoverageTest, RepeatedDeleteChildrenIsIdempotent) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  auto parsed = MustParse(&alphabet,
+                          "root { s = session/candidate/exam; } select s;");
+  auto cls = update::UpdateClass::FromParsed(std::move(parsed));
+  ASSERT_TRUE(cls.ok());
+  update::Update q{&*cls, update::DeleteChildren{}};
+  ASSERT_TRUE(update::ApplyUpdate(&doc, q).ok());
+  size_t nodes_after_first = doc.LiveNodeCount();
+  ASSERT_TRUE(update::ApplyUpdate(&doc, q).ok());
+  EXPECT_EQ(doc.LiveNodeCount(), nodes_after_first);
+}
+
+TEST(UpdateCoverageTest, UpdatedRootsReported) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  auto parsed = MustParse(&alphabet,
+                          "root { s = session/candidate/level; } select s;");
+  auto cls = update::UpdateClass::FromParsed(std::move(parsed));
+  ASSERT_TRUE(cls.ok());
+
+  // ReplaceSubtree reports the replacement copies.
+  auto repl = std::make_shared<Document>(&alphabet);
+  NodeId r = repl->AddElement(repl->root(), "level");
+  repl->AddText(r, "E");
+  update::Update q{&*cls, update::ReplaceSubtree{repl, r}};
+  auto stats = update::ApplyUpdate(&doc, q);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->updated_roots.size(), 2u);
+  for (NodeId n : stats->updated_roots) {
+    EXPECT_EQ(doc.label_name(n), "level");
+    EXPECT_EQ(doc.value(doc.first_child(n)), "E");
+  }
+
+  // DeleteSelf reports the parents.
+  Document doc2 = workload::BuildPaperFigure1Document(&alphabet);
+  update::Update del{&*cls, update::DeleteSelf{}};
+  auto del_stats = update::ApplyUpdate(&doc2, del);
+  ASSERT_TRUE(del_stats.ok());
+  for (NodeId n : del_stats->updated_roots) {
+    EXPECT_EQ(doc2.label_name(n), "candidate");
+  }
+}
+
+// --- Hedge automaton small pieces ---
+
+TEST(HedgeAutomatonCoverageTest, TotalSizeAndEmptyAutomaton) {
+  automata::HedgeAutomaton empty;
+  EXPECT_EQ(empty.NumStates(), 0);
+  EXPECT_TRUE(empty.IsEmptyLanguage());
+
+  automata::HedgeAutomaton universal = automata::HedgeAutomaton::Universal();
+  EXPECT_GT(universal.TotalSize(), 0);
+}
+
+TEST(HedgeAutomatonCoverageTest, RunReturnsStateSets) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  automata::HedgeAutomaton universal = automata::HedgeAutomaton::Universal();
+  auto states = universal.Run(doc);
+  size_t assigned = 0;
+  doc.Visit([&](NodeId n) {
+    EXPECT_EQ(states[n].size(), 1u);
+    ++assigned;
+    return true;
+  });
+  EXPECT_EQ(assigned, doc.LiveNodeCount());
+}
+
+// --- Document clone preserves structure after mutations ---
+
+TEST(DocumentCoverageTest, CloneAfterMutationsMatchesValueEquality) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  NodeId session = doc.first_child(doc.root());
+  doc.DetachSubtree(doc.first_child(session));  // drop candidate 001
+  Document copy = doc.Clone();
+  EXPECT_TRUE(xml::ValueEqual(doc, doc.root(), copy, copy.root()));
+  EXPECT_EQ(copy.LiveNodeCount(), doc.LiveNodeCount());
+  EXPECT_LE(copy.ArenaSize(), doc.ArenaSize());  // garbage not copied
+}
+
+}  // namespace
+}  // namespace rtp

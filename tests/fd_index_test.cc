@@ -1,0 +1,169 @@
+#include "fd/fd_index.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "update/update_ops.h"
+#include "workload/exam_generator.h"
+#include "workload/exam_schema.h"
+#include "workload/paper_patterns.h"
+
+namespace rtp::fd {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+FunctionalDependency MustFd(pattern::ParsedPattern parsed) {
+  auto fd = FunctionalDependency::FromParsed(std::move(parsed));
+  RTP_CHECK_MSG(fd.ok(), fd.status().ToString().c_str());
+  return std::move(fd).value();
+}
+
+update::UpdateClass MustUpdate(Alphabet* alphabet, std::string_view text) {
+  auto parsed = pattern::ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  auto u = update::UpdateClass::FromParsed(std::move(parsed).value());
+  RTP_CHECK_MSG(u.ok(), u.status().ToString().c_str());
+  return std::move(u).value();
+}
+
+TEST(FdIndexTest, BuildMatchesFullCheck) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  for (auto maker : {workload::PaperFd1, workload::PaperFd2,
+                     workload::PaperFd3, workload::PaperFd5}) {
+    FunctionalDependency fd = MustFd(maker(&alphabet));
+    FdIndex index = FdIndex::Build(fd, doc);
+    EXPECT_TRUE(index.supports_incremental());
+    EXPECT_EQ(index.satisfied(), CheckFd(fd, doc).satisfied);
+  }
+}
+
+TEST(FdIndexTest, RevalidateDetectsIntroducedViolation) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  FdIndex index = FdIndex::Build(fd1, doc);
+  ASSERT_TRUE(index.satisfied());
+
+  // Rewrite one rank: the two math/15 exams disagree now.
+  update::UpdateClass ranks =
+      MustUpdate(&alphabet, "root { s = session/candidate/exam/rank; } select s;");
+  std::vector<NodeId> targets = ranks.SelectNodes(doc);
+  auto stats = update::ApplyOperationAt(
+      &doc, {targets.front()},
+      update::TransformValues{[](std::string_view) { return "99"; }});
+  ASSERT_TRUE(stats.ok());
+
+  EXPECT_FALSE(index.Revalidate(doc, stats->updated_roots));
+  EXPECT_EQ(index.satisfied(), CheckFd(fd1, doc).satisfied);
+}
+
+TEST(FdIndexTest, RevalidateDetectsRepairedViolation) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+
+  // Break fd1 first.
+  update::UpdateClass ranks =
+      MustUpdate(&alphabet, "root { s = session/candidate/exam/rank; } select s;");
+  std::vector<NodeId> targets = ranks.SelectNodes(doc);
+  auto broke = update::ApplyOperationAt(
+      &doc, {targets.front()},
+      update::TransformValues{[](std::string_view) { return "99"; }});
+  ASSERT_TRUE(broke.ok());
+
+  FdIndex index = FdIndex::Build(fd1, doc);
+  ASSERT_FALSE(index.satisfied());
+
+  // Repair it again.
+  auto fixed = update::ApplyOperationAt(
+      &doc, {targets.front()},
+      update::TransformValues{[](std::string_view) { return "2"; }});
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(index.Revalidate(doc, fixed->updated_roots));
+}
+
+TEST(FdIndexTest, IncrementalPassTouchesFewerMappings) {
+  Alphabet alphabet;
+  workload::ExamWorkloadParams params;
+  params.num_candidates = 300;
+  Document doc = workload::GenerateExamDocument(&alphabet, params);
+  // fd2 has context 'candidate': summaries decompose per candidate, so an
+  // update inside one candidate re-enumerates that candidate only.
+  FunctionalDependency fd2 = MustFd(workload::PaperFd2(&alphabet));
+  FdIndex index = FdIndex::Build(fd2, doc);
+  size_t full_pass = index.last_pass_mappings();
+
+  update::UpdateClass dates = MustUpdate(
+      &alphabet, "root { s = session/candidate/exam/date; } select s;");
+  std::vector<NodeId> targets = dates.SelectNodes(doc);
+  ASSERT_FALSE(targets.empty());
+  auto stats = update::ApplyOperationAt(
+      &doc, {targets.front()},
+      update::TransformValues{[](std::string_view v) { return std::string(v); }});
+  ASSERT_TRUE(stats.ok());
+
+  bool verdict = index.Revalidate(doc, stats->updated_roots);
+  EXPECT_EQ(verdict, CheckFd(fd2, doc).satisfied);
+  EXPECT_LT(index.last_pass_mappings(), full_pass / 10)
+      << "incremental pass should touch far fewer mappings";
+}
+
+// Randomized agreement: after arbitrary update sequences, Revalidate and
+// the full checker agree.
+class FdIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdIndexPropertyTest, RevalidateAgreesWithFullCheck) {
+  uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  Alphabet alphabet;
+  workload::ExamWorkloadParams params;
+  params.num_candidates = 12;
+  params.exams_per_candidate = 2;
+  params.seed = seed;
+  params.consistent_ranks = (seed % 2) == 0;
+  Document doc = workload::GenerateExamDocument(&alphabet, params);
+
+  FunctionalDependency fd = (seed % 3 == 0)
+                                ? MustFd(workload::PaperFd2(&alphabet))
+                                : MustFd(workload::PaperFd1(&alphabet));
+  FdIndex index = FdIndex::Build(fd, doc);
+  EXPECT_EQ(index.satisfied(), CheckFd(fd, doc).satisfied);
+
+  update::UpdateClass cls = MustUpdate(
+      &alphabet,
+      (seed % 2 == 0)
+          ? "root { s = session/candidate/exam/rank; } select s;"
+          : "root { s = session/candidate/exam; } select s;");
+
+  for (int step = 0; step < 4; ++step) {
+    std::vector<NodeId> targets = cls.SelectNodes(doc);
+    if (targets.empty()) break;
+    // Update a random subset.
+    std::vector<NodeId> chosen;
+    for (NodeId n : targets) {
+      if (rng() % 3 == 0) chosen.push_back(n);
+    }
+    if (chosen.empty()) chosen.push_back(targets[rng() % targets.size()]);
+    uint64_t salt = rng();
+    auto stats = update::ApplyOperationAt(
+        &doc, chosen, update::TransformValues{[salt](std::string_view v) {
+          uint64_t h = salt;
+          for (char c : v) h = h * 31 + static_cast<unsigned char>(c);
+          return "v" + std::to_string(h % 4);
+        }});
+    ASSERT_TRUE(stats.ok());
+    bool incremental = index.Revalidate(doc, stats->updated_roots);
+    bool full = CheckFd(fd, doc).satisfied;
+    EXPECT_EQ(incremental, full) << "seed " << seed << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdIndexPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtp::fd

@@ -1,0 +1,127 @@
+#include "independence/hardness.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_checker.h"
+#include "independence/criterion.h"
+#include "update/update_ops.h"
+
+namespace rtp::independence {
+namespace {
+
+TEST(HardnessTest, RejectsBadInputs) {
+  Alphabet alphabet;
+  EXPECT_FALSE(BuildInclusionReduction(&alphabet, "(", "a").ok());
+  EXPECT_FALSE(BuildInclusionReduction(&alphabet, "a", "(").ok());
+  EXPECT_FALSE(BuildInclusionReduction(&alphabet, "hash", "a").ok());
+  EXPECT_FALSE(BuildInclusionReduction(&alphabet, "a", "m0").ok());
+  EXPECT_FALSE(BuildInclusionReduction(&alphabet, "_", "a").ok());
+}
+
+TEST(HardnessTest, InclusionDecidedCorrectly) {
+  Alphabet alphabet;
+  struct Case {
+    const char* eta;
+    const char* eta_prime;
+    bool included;
+  };
+  const Case cases[] = {
+      {"a", "a", true},
+      {"a", "a|b", true},
+      {"a/b", "a/(b|c)", true},
+      {"(a|b)+", "(a|b)*", true},
+      {"a|b", "a", false},
+      {"a/a", "a", false},
+      {"a*/b", "a/b", false},
+      {"(a/b)+", "(a|b)+", true},
+      {"a?/b", "b|a/b", true},
+  };
+  for (const Case& c : cases) {
+    auto reduction = BuildInclusionReduction(&alphabet, c.eta, c.eta_prime);
+    ASSERT_TRUE(reduction.ok()) << reduction.status().ToString();
+    EXPECT_EQ(reduction->eta_included, c.included)
+        << c.eta << " vs " << c.eta_prime;
+  }
+}
+
+TEST(HardnessTest, NonInclusionYieldsRealImpactWitness) {
+  Alphabet alphabet;
+  for (auto [eta, eta_prime] :
+       {std::pair{"a|b", "a"}, {"a/a", "a"}, {"a*/b", "a/b"},
+        {"c", "a|b"}}) {
+    auto reduction = BuildInclusionReduction(&alphabet, eta, eta_prime);
+    ASSERT_TRUE(reduction.ok()) << reduction.status().ToString();
+    ASSERT_FALSE(reduction->eta_included);
+    ASSERT_TRUE(reduction->counterexample.has_value());
+    ASSERT_TRUE(reduction->impacting_update.has_value());
+
+    // D satisfies the FD.
+    xml::Document doc = reduction->counterexample->Clone();
+    EXPECT_TRUE(fd::CheckFd(reduction->fd, doc).satisfied)
+        << eta << " vs " << eta_prime;
+
+    // The update class selects the dynamic hash node.
+    std::vector<xml::NodeId> selected =
+        reduction->update_class.SelectNodes(doc);
+    ASSERT_FALSE(selected.empty());
+
+    // Applying the impacting update flips satisfaction.
+    update::Update q{&reduction->update_class, *reduction->impacting_update};
+    auto stats = update::ApplyUpdate(&doc, q);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_FALSE(fd::CheckFd(reduction->fd, doc).satisfied)
+        << eta << " vs " << eta_prime;
+  }
+}
+
+TEST(HardnessTest, InclusionMeansNoImpactFromTheCanonicalUpdate) {
+  // When eta ⊆ eta', the canonical manipulation cannot flip satisfaction:
+  // build the analogous document by hand and check it is NOT a
+  // counterexample (the updated branch already carries a trace).
+  Alphabet alphabet;
+  auto reduction = BuildInclusionReduction(&alphabet, "a", "a|b");
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_TRUE(reduction->eta_included);
+  EXPECT_FALSE(reduction->counterexample.has_value());
+}
+
+TEST(HardnessTest, CriterionIsConservativeOnReduction) {
+  // The polynomial criterion cannot decide inclusion (that would decide a
+  // PSPACE-hard problem): on reductions it reports "not proven" both for
+  // included and non-included pairs whenever both patterns can co-occur.
+  Alphabet alphabet;
+  auto included = BuildInclusionReduction(&alphabet, "a", "a|b");
+  auto not_included = BuildInclusionReduction(&alphabet, "a|b", "a");
+  ASSERT_TRUE(included.ok());
+  ASSERT_TRUE(not_included.ok());
+
+  for (auto* reduction : {&*included, &*not_included}) {
+    auto result = CheckIndependence(reduction->fd, reduction->update_class,
+                                    nullptr, &alphabet);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->independent);
+  }
+}
+
+TEST(HardnessTest, ExponentialFamilyStillDecided) {
+  // (a|b)*a(a|b)^n needs ~2^n DFA states: inclusion remains decidable for
+  // small n (the blowup is benchmarked in bench_regex_inclusion).
+  Alphabet alphabet;
+  std::string eta = "(a|b)*/a";
+  std::string suffix;
+  for (int i = 0; i < 5; ++i) suffix += "/(a|b)";
+  eta += suffix;
+  // eta' = (a|b)* : trivially includes eta.
+  auto reduction = BuildInclusionReduction(&alphabet, eta, "(a|b)*");
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_TRUE(reduction->eta_included);
+
+  // And the reverse is not included.
+  auto reverse = BuildInclusionReduction(&alphabet, "(a|b)+", eta);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(reverse->eta_included);
+  EXPECT_TRUE(reverse->counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace rtp::independence

@@ -1,0 +1,135 @@
+// Tests for the supporting features: arena compaction, DOT export, the
+// independence-matrix API.
+
+#include <gtest/gtest.h>
+
+#include "automata/pattern_compiler.h"
+#include "independence/matrix.h"
+#include "pattern/dot_export.h"
+#include "pattern/evaluator.h"
+#include "workload/exam_generator.h"
+#include "workload/exam_schema.h"
+#include "workload/paper_patterns.h"
+#include "xml/value_equality.h"
+
+namespace rtp {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(CompactTest, ReclaimsGarbageAndPreservesStructure) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  Document reference = doc.Clone();
+
+  NodeId session = doc.first_child(doc.root());
+  doc.DetachSubtree(doc.first_child(session));  // drop candidate 001
+  reference.DetachSubtree(reference.first_child(reference.first_child(
+      reference.root())));
+
+  size_t live = doc.LiveNodeCount();
+  ASSERT_GT(doc.ArenaSize(), live);
+
+  std::vector<NodeId> remap;
+  doc.Compact(&remap);
+  EXPECT_EQ(doc.ArenaSize(), live);
+  EXPECT_EQ(doc.LiveNodeCount(), live);
+  EXPECT_TRUE(xml::ValueEqual(doc, doc.root(), reference, reference.root()));
+
+  // The remap translates old live ids and blanks garbage.
+  EXPECT_EQ(remap[0], doc.root());
+  size_t mapped = 0;
+  for (NodeId id : remap) {
+    if (id != xml::kInvalidNode) ++mapped;
+  }
+  EXPECT_EQ(mapped, live);
+
+  // The compacted document still evaluates correctly.
+  pattern::ParsedPattern r3 = workload::PaperR3(&alphabet);
+  EXPECT_EQ(pattern::EvaluateSelected(r3.pattern, doc).size(), 1u);
+}
+
+TEST(CompactTest, CompactingCleanDocumentIsStable) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  size_t arena = doc.ArenaSize();
+  doc.Compact();
+  EXPECT_EQ(doc.ArenaSize(), arena);
+  Document reference = workload::BuildPaperFigure1Document(&alphabet);
+  EXPECT_TRUE(xml::ValueEqual(doc, doc.root(), reference, reference.root()));
+}
+
+TEST(DotExportTest, PatternDotMentionsEdgesAndSelection) {
+  Alphabet alphabet;
+  pattern::ParsedPattern fd1 = workload::PaperFd1(&alphabet);
+  std::string dot = pattern::PatternToDot(fd1.pattern, alphabet,
+                                          fd1.context.value());
+  EXPECT_NE(dot.find("digraph pattern"), std::string::npos);
+  EXPECT_NE(dot.find("candidate/exam"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);   // selected
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);  // context
+  EXPECT_NE(dot.find("rank"), std::string::npos);
+}
+
+TEST(DotExportTest, AutomatonDotMentionsGuardsAndMarks) {
+  Alphabet alphabet;
+  pattern::ParsedPattern u = workload::PaperUpdateU(&alphabet);
+  automata::HedgeAutomaton automaton = automata::CompilePattern(
+      u.pattern, automata::MarkMode::kSelectedImagesOnly);
+  std::string dot = automata::AutomatonToDot(automaton, alphabet);
+  EXPECT_NE(dot.find("digraph automaton"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // root accepting
+  EXPECT_NE(dot.find("lightyellow"), std::string::npos);    // marked state
+  EXPECT_NE(dot.find("level"), std::string::npos);
+}
+
+TEST(MatrixTest, MatchesPairwiseCriterion) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  auto fd1 = fd::FunctionalDependency::FromParsed(workload::PaperFd1(&alphabet));
+  auto fd5 = fd::FunctionalDependency::FromParsed(workload::PaperFd5(&alphabet));
+  ASSERT_TRUE(fd1.ok() && fd5.ok());
+  auto levels = update::UpdateClass::FromParsed(workload::PaperUpdateU(&alphabet));
+  auto ranks_pattern = pattern::ParsePattern(
+      &alphabet, "root { s = session/candidate/exam/rank; } select s;");
+  ASSERT_TRUE(ranks_pattern.ok());
+  auto ranks = update::UpdateClass::FromParsed(std::move(ranks_pattern).value());
+  ASSERT_TRUE(levels.ok() && ranks.ok());
+
+  auto matrix = independence::ComputeIndependenceMatrix(
+      {&*fd1, &*fd5}, {&*levels, &*ranks}, &schema, &alphabet);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  EXPECT_EQ(matrix->num_fds, 2u);
+  EXPECT_EQ(matrix->num_classes, 2u);
+  EXPECT_TRUE(matrix->at(0, 0).independent);   // fd1 vs levels
+  EXPECT_FALSE(matrix->at(0, 1).independent);  // fd1 vs ranks
+  EXPECT_TRUE(matrix->at(1, 0).independent);   // fd5 vs levels
+  EXPECT_TRUE(matrix->at(1, 1).independent);   // fd5 vs ranks
+
+  EXPECT_EQ(matrix->FdsToRecheck(0), std::vector<size_t>{});
+  EXPECT_EQ(matrix->FdsToRecheck(1), std::vector<size_t>{0});
+  EXPECT_DOUBLE_EQ(matrix->IndependentFraction(), 0.75);
+
+  std::string text = matrix->ToString({"fd1", "fd5"}, {"levels", "ranks"});
+  EXPECT_NE(text.find("safe"), std::string::npos);
+  EXPECT_NE(text.find("check"), std::string::npos);
+}
+
+TEST(MatrixTest, PropagatesErrors) {
+  Alphabet alphabet;
+  auto fd1 = fd::FunctionalDependency::FromParsed(workload::PaperFd1(&alphabet));
+  ASSERT_TRUE(fd1.ok());
+  auto internal_pattern = pattern::ParsePattern(
+      &alphabet, "root { s = session { candidate; } } select s;");
+  ASSERT_TRUE(internal_pattern.ok());
+  auto internal =
+      update::UpdateClass::FromParsed(std::move(internal_pattern).value());
+  ASSERT_TRUE(internal.ok());
+  auto matrix = independence::ComputeIndependenceMatrix(
+      {&*fd1}, {&*internal}, nullptr, &alphabet);
+  EXPECT_FALSE(matrix.ok());
+}
+
+}  // namespace
+}  // namespace rtp

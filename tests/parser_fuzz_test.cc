@@ -1,0 +1,103 @@
+// Robustness fuzzing of every textual front end: random byte soup and
+// mutated valid inputs must produce Status errors, never crashes, and
+// accepted inputs must be usable.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "fd/path_fd.h"
+#include "pattern/pattern_parser.h"
+#include "regex/regex.h"
+#include "schema/schema.h"
+#include "xml/xml_io.h"
+#include "xpath/xpath.h"
+
+namespace rtp {
+namespace {
+
+std::string RandomBytes(std::mt19937_64* rng, size_t max_len) {
+  static constexpr char kChars[] =
+      "abcXYZ019 \t\n(){};[]|/*+?=@#<>&\"'-_.,!";
+  size_t len = (*rng)() % (max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kChars[(*rng)() % (sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string Mutate(std::string_view base, std::mt19937_64* rng) {
+  std::string out(base);
+  size_t edits = 1 + (*rng)() % 4;
+  for (size_t i = 0; i < edits && !out.empty(); ++i) {
+    size_t pos = (*rng)() % out.size();
+    switch ((*rng)() % 3) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, static_cast<char>('!' + (*rng)() % 90));
+        break;
+      default:
+        out[pos] = static_cast<char>('!' + (*rng)() % 90);
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    Alphabet alphabet;
+    std::string input = RandomBytes(&rng, 60);
+    // Each parser either errors out or produces a usable object.
+    auto re = regex::Regex::Parse(&alphabet, input);
+    if (re.ok()) (void)re->IsProper();
+    auto pat = pattern::ParsePattern(&alphabet, input);
+    if (pat.ok()) (void)pat->pattern.Validate();
+    auto sch = schema::Schema::Parse(&alphabet, input);
+    auto pfd = fd::ParsePathFd(input);
+    auto xp = xpath::CompileXPath(&alphabet, input);
+    auto xml = xml::ParseXml(&alphabet, input);
+    if (xml.ok()) (void)xml::WriteXml(*xml);
+    (void)sch;
+    (void)pfd;
+    (void)xp;
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidInputsSurvive) {
+  std::mt19937_64 rng(GetParam() + 7777);
+  constexpr std::string_view kPattern = R"(
+    root { c = session { x = candidate/exam { p = mark; q = rank; } } }
+    select p, q;
+    context c;
+  )";
+  constexpr std::string_view kSchema = R"(
+    schema { root a; element a { b* } element b { #text } }
+  )";
+  constexpr std::string_view kXml =
+      "<a x=\"1\"><b>t</b><c/><d>u&amp;v</d></a>";
+  constexpr std::string_view kPathFd = "(/s, (a/b, c) -> d[N])";
+  constexpr std::string_view kXPath = "/a/b[c]//d | //e/@f";
+
+  for (int i = 0; i < 40; ++i) {
+    Alphabet alphabet;
+    (void)pattern::ParsePattern(&alphabet, Mutate(kPattern, &rng));
+    (void)schema::Schema::Parse(&alphabet, Mutate(kSchema, &rng));
+    (void)xml::ParseXml(&alphabet, Mutate(kXml, &rng));
+    (void)fd::ParsePathFd(Mutate(kPathFd, &rng));
+    (void)xpath::CompileXPath(&alphabet, Mutate(kXPath, &rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,297 @@
+#include "pattern/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+#include "workload/exam_generator.h"
+#include "workload/paper_patterns.h"
+
+namespace rtp::pattern {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+ParsedPattern MustParse(Alphabet* alphabet, std::string_view text) {
+  auto parsed = ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+TEST(TreePatternTest, StructureAndSize) {
+  Alphabet alphabet;
+  ParsedPattern p = MustParse(&alphabet, R"(
+    root {
+      c = session {
+        x = candidate {
+          a = exam;
+          b = level;
+        }
+      }
+    }
+    select a, b;
+    context c;
+  )");
+  const TreePattern& t = p.pattern;
+  EXPECT_EQ(t.NumNodes(), 5u);
+  EXPECT_EQ(t.MaxArity(), 2u);
+  ASSERT_TRUE(p.context.has_value());
+  EXPECT_EQ(*p.context, p.names.at("c"));
+  EXPECT_EQ(t.selected().size(), 2u);
+  EXPECT_EQ(t.parent(p.names.at("x")), p.names.at("c"));
+  EXPECT_TRUE(t.IsAncestorOrSelf(p.names.at("c"), p.names.at("a")));
+  EXPECT_FALSE(t.IsAncestorOrSelf(p.names.at("a"), p.names.at("c")));
+  EXPECT_GT(t.Size(alphabet), 0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreePatternTest, ValidateRejectsNonProperEdge) {
+  Alphabet alphabet;
+  auto parsed = ParsePattern(&alphabet, R"(
+    root { x = a*; }
+    select x;
+  )");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternParserTest, Errors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParsePattern(&alphabet, "").ok());
+  EXPECT_FALSE(ParsePattern(&alphabet, "root { a }").ok());
+  EXPECT_FALSE(ParsePattern(&alphabet, "root { a; } select zzz;").ok());
+  EXPECT_FALSE(ParsePattern(&alphabet, "root { x = a; x = b; }").ok());
+  EXPECT_FALSE(ParsePattern(&alphabet, "root { a; } context q;").ok());
+  EXPECT_FALSE(ParsePattern(&alphabet, "root { a; } bogus x;").ok());
+}
+
+TEST(PatternParserTest, CommentsAndAnonymousNodes) {
+  Alphabet alphabet;
+  ParsedPattern p = MustParse(&alphabet, R"(
+    # a pattern
+    root {
+      a/b;      # anonymous internal path
+      x = c;    # named leaf
+    }
+    select x;
+  )");
+  EXPECT_EQ(p.pattern.NumNodes(), 3u);
+  EXPECT_EQ(p.names.size(), 1u);
+}
+
+// --- Evaluation on a small handcrafted tree. ---
+
+TEST(EvaluatorTest, SingleEdgeMonadicPattern) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId b1 = doc.AddElement(a, "b");
+  NodeId b2 = doc.AddElement(a, "b");
+  doc.AddElement(b1, "c");
+
+  ParsedPattern p = MustParse(&alphabet, "root { s = a/b; } select s;");
+  auto result = EvaluateSelected(p.pattern, doc);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0][0], b1);
+  EXPECT_EQ(result[1][0], b2);
+}
+
+TEST(EvaluatorTest, DescendantAxisViaWildcardStar) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId b = doc.AddElement(a, "b");
+  NodeId target1 = doc.AddElement(b, "x");
+  NodeId target2 = doc.AddElement(a, "x");
+
+  ParsedPattern p = MustParse(&alphabet, "root { s = _*/x; } select s;");
+  auto result = EvaluateSelected(p.pattern, doc);
+  ASSERT_EQ(result.size(), 2u);
+  std::set<NodeId> got = {result[0][0], result[1][0]};
+  EXPECT_TRUE(got.count(target1));
+  EXPECT_TRUE(got.count(target2));
+}
+
+TEST(EvaluatorTest, NoMappingWhenLabelMissing) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  doc.AddElement(doc.root(), "a");
+  ParsedPattern p = MustParse(&alphabet, "root { s = zz; } select s;");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  EXPECT_FALSE(tables.HasTrace());
+  EXPECT_TRUE(EvaluateSelected(p.pattern, doc).empty());
+}
+
+TEST(EvaluatorTest, SiblingEdgesRequireDistinctIncreasingChildren) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  doc.AddElement(a, "b");
+
+  // Two sibling edges both needing a 'b' child: only one 'b' exists, so
+  // condition (b) of Definition 2 leaves no mapping.
+  ParsedPattern p = MustParse(&alphabet, R"(
+    root { a { s1 = b; s2 = b; } }
+    select s1, s2;
+  )");
+  EXPECT_TRUE(EvaluateSelected(p.pattern, doc).empty());
+
+  // With a second 'b' child there is exactly one (ordered) mapping.
+  doc.AddElement(a, "b");
+  auto result = EvaluateSelected(p.pattern, doc);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(doc.DocumentOrderLess(result[0][0], result[0][1]));
+}
+
+TEST(EvaluatorTest, SiblingOrderConstraint) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  doc.AddElement(a, "x");
+  doc.AddElement(a, "y");
+
+  ParsedPattern xy = MustParse(&alphabet, "root { a { s1 = x; s2 = y; } } select s1, s2;");
+  ParsedPattern yx = MustParse(&alphabet, "root { a { s1 = y; s2 = x; } } select s1, s2;");
+  EXPECT_EQ(EvaluateSelected(xy.pattern, doc).size(), 1u);
+  EXPECT_TRUE(EvaluateSelected(yx.pattern, doc).empty());
+}
+
+TEST(EvaluatorTest, PathsDivergingAtDifferentDepths) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId b1 = doc.AddElement(a, "b");
+  NodeId b2 = doc.AddElement(a, "b");
+  NodeId c1 = doc.AddElement(b1, "c");
+  NodeId c2 = doc.AddElement(b2, "c");
+
+  // Divergence at the 'a' node: pairs (c under b1, c under b2) only.
+  ParsedPattern p = MustParse(&alphabet, R"(
+    root { a { s1 = b/c; s2 = b/c; } }
+    select s1, s2;
+  )");
+  auto result = EvaluateSelected(p.pattern, doc);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0][0], c1);
+  EXPECT_EQ(result[0][1], c2);
+}
+
+TEST(EvaluatorTest, MappingCountMultiplicative) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId u = doc.AddElement(a, "u");
+  NodeId v = doc.AddElement(a, "v");
+  for (int i = 0; i < 3; ++i) doc.AddElement(u, "x");
+  for (int i = 0; i < 2; ++i) doc.AddElement(v, "y");
+
+  ParsedPattern p2 = MustParse(&alphabet, R"(
+    root { a { s1 = u/x; s2 = v/y; } }
+    select s1, s2;
+  )");
+  MatchTables tables = MatchTables::Build(p2.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  EXPECT_EQ(enumerator.Count(), 6u);
+}
+
+TEST(EvaluatorTest, EarlyTerminationStopsEnumeration) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  for (int i = 0; i < 10; ++i) doc.AddElement(a, "b");
+  ParsedPattern p = MustParse(&alphabet, "root { s = a/b; } select s;");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  EXPECT_EQ(enumerator.Count(3), 3u);
+  EXPECT_EQ(enumerator.Count(), 10u);
+}
+
+TEST(EvaluatorTest, TraceIsUnionOfRootPaths) {
+  Alphabet alphabet;
+  Document doc(&alphabet);
+  NodeId a = doc.AddElement(doc.root(), "a");
+  NodeId b = doc.AddElement(a, "b");
+  NodeId c = doc.AddElement(a, "c");
+  ParsedPattern p = MustParse(&alphabet, "root { a { s1 = b; s2 = c; } } select s1, s2;");
+  MatchTables tables = MatchTables::Build(p.pattern, doc);
+  MappingEnumerator enumerator(tables);
+  std::vector<xml::NodeId> trace;
+  enumerator.ForEach([&](const Mapping& m) {
+    trace = TraceOf(doc, m);
+    return false;
+  });
+  EXPECT_EQ(trace, (std::vector<NodeId>{doc.root(), a, b, c}));
+}
+
+// --- The paper's Figure 2/3 examples on the Figure 1 document. ---
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  PaperExamplesTest()
+      : doc_(workload::BuildPaperFigure1Document(&alphabet_)) {}
+
+  Alphabet alphabet_;
+  Document doc_;
+};
+
+TEST_F(PaperExamplesTest, R1SelectsFourCrossCandidatePairs) {
+  ParsedPattern r1 = workload::PaperR1(&alphabet_);
+  auto result = EvaluateSelected(r1.pattern, doc_);
+  EXPECT_EQ(result.size(), 4u);
+  // Every pair spans two different candidates.
+  for (const auto& tuple : result) {
+    NodeId cand1 = doc_.parent(tuple[0]);
+    NodeId cand2 = doc_.parent(tuple[1]);
+    EXPECT_NE(cand1, cand2);
+    EXPECT_TRUE(doc_.DocumentOrderLess(tuple[0], tuple[1]));
+  }
+}
+
+TEST_F(PaperExamplesTest, R2SelectsTwoSameCandidatePairs) {
+  ParsedPattern r2 = workload::PaperR2(&alphabet_);
+  auto result = EvaluateSelected(r2.pattern, doc_);
+  EXPECT_EQ(result.size(), 2u);
+  for (const auto& tuple : result) {
+    EXPECT_EQ(doc_.parent(tuple[0]), doc_.parent(tuple[1]));
+    EXPECT_NE(tuple[0], tuple[1]);
+  }
+}
+
+TEST_F(PaperExamplesTest, R3SelectsLevelsOfCandidatesWithExams) {
+  ParsedPattern r3 = workload::PaperR3(&alphabet_);
+  auto result = EvaluateSelected(r3.pattern, doc_);
+  ASSERT_EQ(result.size(), 2u);
+  for (const auto& tuple : result) {
+    EXPECT_EQ(doc_.label_name(tuple[0]), "level");
+  }
+}
+
+TEST_F(PaperExamplesTest, R4IsEmptyBecauseOrderIsViolated) {
+  ParsedPattern r4 = workload::PaperR4(&alphabet_);
+  EXPECT_TRUE(EvaluateSelected(r4.pattern, doc_).empty());
+}
+
+TEST_F(PaperExamplesTest, UpdateClassUSelectsOnlyCandidate001Level) {
+  ParsedPattern u = workload::PaperUpdateU(&alphabet_);
+  auto result = EvaluateSelected(u.pattern, doc_);
+  ASSERT_EQ(result.size(), 1u);
+  NodeId level = result[0][0];
+  EXPECT_EQ(doc_.label_name(level), "level");
+  // It is candidate 001's level (the candidate with toBePassed).
+  NodeId candidate = doc_.parent(level);
+  NodeId idn = doc_.first_child(candidate);
+  EXPECT_EQ(doc_.value(idn), "001");
+}
+
+TEST_F(PaperExamplesTest, MatchTablesAgreeWithEnumerationOnTraceExistence) {
+  for (auto maker : {workload::PaperR1, workload::PaperR2, workload::PaperR3,
+                     workload::PaperR4, workload::PaperUpdateU}) {
+    ParsedPattern p = maker(&alphabet_);
+    MatchTables tables = MatchTables::Build(p.pattern, doc_);
+    MappingEnumerator enumerator(tables);
+    EXPECT_EQ(tables.HasTrace(), enumerator.Count() > 0);
+  }
+}
+
+}  // namespace
+}  // namespace rtp::pattern

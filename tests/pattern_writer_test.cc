@@ -1,0 +1,111 @@
+#include "pattern/pattern_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/path_fd.h"
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+#include "workload/exam_generator.h"
+#include "workload/paper_patterns.h"
+#include "workload/random_pattern.h"
+#include "xpath/xpath.h"
+
+namespace rtp::pattern {
+namespace {
+
+// Structural equality of the original pattern and its reparse, mapped
+// through the writer's n<k> names (node ids are renumbered in DFS order by
+// the parser when the original creation order differed).
+void ExpectStructurallyEqual(const TreePattern& a, const ParsedPattern& b) {
+  ASSERT_EQ(a.NumNodes(), b.pattern.NumNodes());
+  std::vector<PatternNodeId> map(a.NumNodes(), kInvalidPatternNode);
+  map[TreePattern::kRoot] = TreePattern::kRoot;
+  for (PatternNodeId w = 1; w < a.NumNodes(); ++w) {
+    auto it = b.names.find("n" + std::to_string(w));
+    ASSERT_NE(it, b.names.end()) << "missing node n" << w;
+    map[w] = it->second;
+  }
+  for (PatternNodeId w = 0; w < a.NumNodes(); ++w) {
+    std::vector<PatternNodeId> mapped_children;
+    for (PatternNodeId c : a.children(w)) mapped_children.push_back(map[c]);
+    EXPECT_EQ(mapped_children, b.pattern.children(map[w])) << "node " << w;
+    if (w != TreePattern::kRoot) {
+      EXPECT_EQ(map[a.parent(w)], b.pattern.parent(map[w]));
+      EXPECT_TRUE(
+          a.edge(w).dfa().IsEquivalentTo(b.pattern.edge(map[w]).dfa()))
+          << "edge language differs at node " << w;
+    }
+  }
+  ASSERT_EQ(a.selected().size(), b.pattern.selected().size());
+  for (size_t i = 0; i < a.selected().size(); ++i) {
+    EXPECT_EQ(map[a.selected()[i].node], b.pattern.selected()[i].node);
+    EXPECT_EQ(a.selected()[i].equality, b.pattern.selected()[i].equality);
+  }
+}
+
+TEST(PatternWriterTest, PaperPatternsRoundTrip) {
+  Alphabet alphabet;
+  struct Case {
+    ParsedPattern parsed;
+  };
+  for (auto maker : {workload::PaperR1, workload::PaperR2, workload::PaperFd1,
+                     workload::PaperFd2, workload::PaperFd3,
+                     workload::PaperUpdateU}) {
+    ParsedPattern original = maker(&alphabet);
+    std::string dsl =
+        PatternToDsl(original.pattern, alphabet, original.context);
+    auto reparsed = ParsePattern(&alphabet, dsl);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << dsl;
+    ExpectStructurallyEqual(original.pattern, *reparsed);
+    EXPECT_EQ(original.context, reparsed->context) << dsl;
+  }
+}
+
+TEST(PatternWriterTest, CompiledXPathRoundTrips) {
+  Alphabet alphabet;
+  auto compiled =
+      xpath::CompileXPath(&alphabet, "/session/candidate[exam/mark]//rank");
+  ASSERT_TRUE(compiled.ok());
+  std::string dsl = PatternToDsl(compiled->branches[0], alphabet);
+  auto reparsed = ParsePattern(&alphabet, dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << dsl;
+  ExpectStructurallyEqual(compiled->branches[0], *reparsed);
+
+  // Same evaluation on a document.
+  xml::Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  EXPECT_EQ(EvaluateSelected(compiled->branches[0], doc),
+            EvaluateSelected(reparsed->pattern, doc));
+}
+
+TEST(PatternWriterTest, CompiledPathFdRoundTripsWithRootContext) {
+  Alphabet alphabet;
+  auto fd = fd::ParseAndCompilePathFd(&alphabet, "(/, (a/b, a/b/c) -> d[N])");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  std::string dsl = PatternToDsl(fd->pattern(), alphabet, fd->context());
+  EXPECT_NE(dsl.find("context root;"), std::string::npos);
+  auto reparsed = ParsePattern(&alphabet, dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << dsl;
+  ExpectStructurallyEqual(fd->pattern(), *reparsed);
+  ASSERT_TRUE(reparsed->context.has_value());
+  EXPECT_EQ(*reparsed->context, TreePattern::kRoot);
+}
+
+class PatternWriterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternWriterPropertyTest, RandomPatternsRoundTrip) {
+  Alphabet alphabet;
+  workload::RandomPatternParams params;
+  params.seed = GetParam();
+  params.num_selected = 2;
+  TreePattern original = workload::GenerateRandomPattern(&alphabet, params);
+  std::string dsl = PatternToDsl(original, alphabet);
+  auto reparsed = ParsePattern(&alphabet, dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << dsl;
+  ExpectStructurallyEqual(original, *reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternWriterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtp::pattern

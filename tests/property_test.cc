@@ -1,0 +1,180 @@
+// Randomized cross-validation (parameterized over seeds):
+//  - the match-table evaluator against the literal Definition 2 oracle,
+//  - the pattern automaton against both,
+//  - the hashed FD checker against the literal Definition 5 oracle,
+//  - the criterion automaton against the direct L-membership test.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/pattern_compiler.h"
+#include "fd/fd_checker.h"
+#include "fd/reference_checker.h"
+#include "independence/criterion.h"
+#include "pattern/evaluator.h"
+#include "pattern/reference_evaluator.h"
+#include "workload/random_pattern.h"
+
+namespace rtp {
+namespace {
+
+using pattern::Mapping;
+using pattern::TreePattern;
+using xml::Document;
+
+std::set<std::vector<xml::NodeId>> ImageSet(const std::vector<Mapping>& ms) {
+  std::set<std::vector<xml::NodeId>> out;
+  for (const Mapping& m : ms) out.insert(m.image);
+  return out;
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorPropertyTest, EvaluatorMatchesDefinitionOracle) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams pattern_params;
+  pattern_params.seed = seed;
+  TreePattern pattern = workload::GenerateRandomPattern(&alphabet, pattern_params);
+
+  for (uint64_t doc_seed = 1; doc_seed <= 3; ++doc_seed) {
+    workload::RandomTreeParams tree_params;
+    tree_params.seed = seed * 1000 + doc_seed;
+    Document doc = workload::GenerateRandomTree(&alphabet, tree_params);
+
+    // Oracle.
+    std::vector<Mapping> expected =
+        pattern::ReferenceEnumerateMappings(pattern, doc);
+    std::set<std::vector<xml::NodeId>> expected_set = ImageSet(expected);
+
+    // Match-table evaluator.
+    pattern::MatchTables tables = pattern::MatchTables::Build(pattern, doc);
+    pattern::MappingEnumerator enumerator(tables);
+    std::vector<Mapping> actual;
+    enumerator.ForEach([&](const Mapping& m) {
+      actual.push_back(m);
+      return true;
+    });
+    std::set<std::vector<xml::NodeId>> actual_set = ImageSet(actual);
+
+    EXPECT_EQ(actual.size(), actual_set.size())
+        << "duplicate mappings emitted (seed " << seed << "/" << doc_seed << ")";
+    EXPECT_EQ(actual_set, expected_set)
+        << "mapping sets disagree (seed " << seed << "/" << doc_seed << ")";
+
+    // HasTrace and the compiled automaton agree with the oracle.
+    EXPECT_EQ(tables.HasTrace(), !expected.empty());
+    automata::HedgeAutomaton automaton =
+        automata::CompilePattern(pattern, automata::MarkMode::kNone);
+    EXPECT_EQ(automaton.Accepts(doc), !expected.empty())
+        << "automaton disagrees (seed " << seed << "/" << doc_seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+class FdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdPropertyTest, CheckerMatchesDefinitionOracle) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+  workload::RandomPatternParams pattern_params;
+  pattern_params.seed = seed;
+  pattern_params.num_selected = 2;  // one condition + target
+  TreePattern tree = workload::GenerateRandomPattern(&alphabet, pattern_params);
+  if (tree.selected().size() < 2) return;  // template too small for an FD
+
+  // Context: a random common ancestor of the selected nodes — the root
+  // always works; half the time try the first selected node's parent.
+  pattern::PatternNodeId context = TreePattern::kRoot;
+  auto fd = fd::FunctionalDependency::Create(tree, context);
+  ASSERT_TRUE(fd.ok());
+
+  for (uint64_t doc_seed = 1; doc_seed <= 4; ++doc_seed) {
+    workload::RandomTreeParams tree_params;
+    tree_params.seed = seed * 7919 + doc_seed;
+    tree_params.text_leaf_percent = 60;  // values matter for FDs
+    Document doc = workload::GenerateRandomTree(&alphabet, tree_params);
+
+    bool expected = fd::ReferenceCheckFd(*fd, doc);
+    fd::CheckResult actual = fd::CheckFd(*fd, doc);
+    EXPECT_EQ(actual.satisfied, expected)
+        << "FD satisfaction disagrees (seed " << seed << "/" << doc_seed << ")";
+    if (!actual.satisfied) {
+      // The reported violation is genuine: the two mappings agree on
+      // context and conditions but not on the target.
+      ASSERT_TRUE(actual.violation.has_value());
+      const auto& selected = fd->pattern().selected();
+      const Mapping& m1 = actual.violation->first;
+      const Mapping& m2 = actual.violation->second;
+      EXPECT_EQ(m1.image[fd->context()], m2.image[fd->context()]);
+      EXPECT_NE(m1.image, m2.image);
+      (void)selected;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdPropertyTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+class CriterionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CriterionPropertyTest, EmptinessConsistentWithDirectMembership) {
+  uint64_t seed = GetParam();
+  Alphabet alphabet;
+
+  workload::RandomPatternParams fd_params;
+  fd_params.seed = seed;
+  fd_params.num_selected = 2;
+  TreePattern fd_tree = workload::GenerateRandomPattern(&alphabet, fd_params);
+  if (fd_tree.selected().size() < 2) return;
+  auto fd = fd::FunctionalDependency::Create(fd_tree, TreePattern::kRoot);
+  ASSERT_TRUE(fd.ok());
+
+  workload::RandomPatternParams u_params;
+  u_params.seed = seed + 5000;
+  u_params.max_template_nodes = 2;
+  TreePattern u_tree = workload::GenerateRandomPattern(&alphabet, u_params);
+  // Make sure a leaf is selected.
+  pattern::PatternNodeId leaf = 0;
+  for (pattern::PatternNodeId w = 1; w < u_tree.NumNodes(); ++w) {
+    if (u_tree.IsLeaf(w)) leaf = w;
+  }
+  if (leaf == 0) return;
+  u_tree.set_selected({pattern::SelectedNode{leaf, pattern::EqualityType::kValue}});
+  auto update_class = update::UpdateClass::Create(std::move(u_tree));
+  ASSERT_TRUE(update_class.ok());
+
+  independence::CriterionOptions options;
+  options.want_conflict_candidate = true;
+  auto result = independence::CheckIndependence(*fd, *update_class, nullptr,
+                                                &alphabet, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  if (result->independent) {
+    // No sampled document may be in L.
+    for (uint64_t doc_seed = 1; doc_seed <= 6; ++doc_seed) {
+      workload::RandomTreeParams tree_params;
+      tree_params.seed = seed * 104729 + doc_seed;
+      Document doc = workload::GenerateRandomTree(&alphabet, tree_params);
+      EXPECT_FALSE(
+          independence::IsInCriterionLanguage(doc, *fd, *update_class, nullptr))
+          << "seed " << seed << "/" << doc_seed
+          << ": document in L although the criterion proved emptiness";
+    }
+  } else {
+    // The synthesized candidate must genuinely be in L.
+    ASSERT_TRUE(result->conflict_candidate.has_value()) << "seed " << seed;
+    EXPECT_TRUE(independence::IsInCriterionLanguage(
+        *result->conflict_candidate, *fd, *update_class, nullptr))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriterionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,141 @@
+// Recursive schemas (parts-within-parts): stress for the hedge-automata
+// layer, the schema-driven generator, descendant patterns and the
+// criterion under unbounded nesting.
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_checker.h"
+#include "independence/criterion.h"
+#include "pattern/evaluator.h"
+#include "schema/schema.h"
+#include "workload/random_document.h"
+
+namespace rtp {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+schema::Schema PartsSchema(Alphabet* alphabet) {
+  auto schema = schema::Schema::Parse(alphabet, R"(
+    schema {
+      root assembly;
+      element assembly { part+ }
+      element part { @id / weight? / part* }
+      element weight { #text }
+    }
+  )");
+  RTP_CHECK_MSG(schema.ok(), schema.status().ToString().c_str());
+  return std::move(schema).value();
+}
+
+Document NestedParts(Alphabet* alphabet, int depth) {
+  Document doc(alphabet);
+  NodeId assembly = doc.AddElement(doc.root(), "assembly");
+  NodeId cur = assembly;
+  for (int i = 0; i < depth; ++i) {
+    cur = doc.AddElement(cur, "part");
+    doc.AddAttribute(cur, "@id", "p" + std::to_string(i));
+    NodeId w = doc.AddElement(cur, "weight");
+    doc.AddText(w, std::to_string(i));
+  }
+  return doc;
+}
+
+TEST(RecursiveSchemaTest, ValidatesUnboundedNesting) {
+  Alphabet alphabet;
+  schema::Schema schema = PartsSchema(&alphabet);
+  for (int depth : {1, 5, 40}) {
+    Document doc = NestedParts(&alphabet, depth);
+    EXPECT_TRUE(schema.Validate(doc)) << "depth " << depth;
+  }
+  // A part without @id is invalid at any depth.
+  Document bad = NestedParts(&alphabet, 3);
+  NodeId assembly = bad.first_child(bad.root());
+  NodeId inner = bad.first_child(assembly);
+  inner = bad.Children(inner)[2];  // the nested part
+  bad.DetachSubtree(bad.first_child(inner));  // drop its @id
+  EXPECT_FALSE(schema.Validate(bad));
+}
+
+TEST(RecursiveSchemaTest, RandomGenerationTerminates) {
+  Alphabet alphabet;
+  schema::Schema schema = PartsSchema(&alphabet);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    workload::RandomDocumentParams params;
+    params.seed = seed;
+    params.max_depth = 8;
+    auto doc = workload::GenerateRandomDocument(schema, params);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_TRUE(schema.Validate(*doc)) << "seed " << seed;
+  }
+}
+
+TEST(RecursiveSchemaTest, DescendantPatternsAcrossRecursion) {
+  Alphabet alphabet;
+  Document doc = NestedParts(&alphabet, 12);
+  auto parsed = pattern::ParsePattern(&alphabet, R"(
+    root { s = assembly/part/_*/weight; }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  // Every nesting level's weight matches (part/.../weight).
+  auto result = pattern::EvaluateSelected(parsed->pattern, doc);
+  EXPECT_EQ(result.size(), 12u);
+}
+
+TEST(RecursiveSchemaTest, RecursiveFdAndCriterion) {
+  Alphabet alphabet;
+  schema::Schema schema = PartsSchema(&alphabet);
+  // FD: within the whole assembly, a part's @id determines its weight
+  // value, at any nesting depth.
+  auto fd_parsed = pattern::ParsePattern(&alphabet, R"(
+    root {
+      c = assembly {
+        x = part/(part)* {
+          p = @id;
+          q = weight;
+        }
+      }
+    }
+    select p, q;
+    context c;
+  )");
+  ASSERT_TRUE(fd_parsed.ok()) << fd_parsed.status().ToString();
+  auto fd = fd::FunctionalDependency::FromParsed(std::move(fd_parsed).value());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+
+  // Satisfied on distinct ids.
+  Document doc = NestedParts(&alphabet, 6);
+  EXPECT_TRUE(fd::CheckFd(*fd, doc).satisfied);
+
+  // Duplicate an id with a different weight: violated (across depths).
+  NodeId assembly = doc.first_child(doc.root());
+  NodeId extra = doc.AddElement(assembly, "part");
+  doc.AddAttribute(extra, "@id", "p3");
+  NodeId w = doc.AddElement(extra, "weight");
+  doc.AddText(w, "999");
+  EXPECT_FALSE(fd::CheckFd(*fd, doc).satisfied);
+
+  // Criterion: @id rewrites at any depth are flagged, weight rewrites are
+  // flagged, but updates to a label outside the schema's vocabulary are
+  // provably independent.
+  auto check = [&](const char* update_text, bool expect_independent) {
+    auto u_parsed = pattern::ParsePattern(&alphabet, update_text);
+    ASSERT_TRUE(u_parsed.ok());
+    auto cls = update::UpdateClass::FromParsed(std::move(u_parsed).value());
+    ASSERT_TRUE(cls.ok());
+    auto verdict =
+        independence::CheckIndependence(*fd, *cls, &schema, &alphabet);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_EQ(verdict->independent, expect_independent) << update_text;
+  };
+  check("root { s = _*/@id; } select s;", false);
+  check("root { s = _*/weight; } select s;", false);
+  // 'color' never occurs in valid documents: the schema makes the update
+  // class empty on valid(S), so the pair is independent.
+  check("root { s = _*/color; } select s;", true);
+}
+
+}  // namespace
+}  // namespace rtp

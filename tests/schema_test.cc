@@ -1,0 +1,180 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "update/update_ops.h"
+#include "workload/exam_generator.h"
+#include "workload/exam_schema.h"
+
+namespace rtp::schema {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(SchemaParserTest, Errors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(Schema::Parse(&alphabet, "").ok());
+  EXPECT_FALSE(Schema::Parse(&alphabet, "schema { }").ok());  // no root
+  EXPECT_FALSE(Schema::Parse(&alphabet, "schema { root a; }").ok());  // a undeclared
+  EXPECT_FALSE(
+      Schema::Parse(&alphabet, "schema { root a; element a { zz } }").ok());
+  EXPECT_FALSE(
+      Schema::Parse(&alphabet,
+                    "schema { root a; element a { } element a { } }")
+          .ok());  // duplicate
+  EXPECT_FALSE(
+      Schema::Parse(&alphabet, "schema { root a; element a { _ } }").ok());
+  EXPECT_FALSE(
+      Schema::Parse(&alphabet, "schema { root a; element @x { } }").ok());
+  EXPECT_FALSE(Schema::Parse(&alphabet, "schema { bogus; }").ok());
+}
+
+TEST(SchemaTest, SimpleValidation) {
+  Alphabet alphabet;
+  auto schema = Schema::Parse(&alphabet, R"(
+    schema {
+      root a;
+      element a { b* / c? }
+      element b { #text }
+      element c { @id }
+    }
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  Document ok_doc(&alphabet);
+  NodeId a = ok_doc.AddElement(ok_doc.root(), "a");
+  NodeId b = ok_doc.AddElement(a, "b");
+  ok_doc.AddText(b, "hi");
+  NodeId c = ok_doc.AddElement(a, "c");
+  ok_doc.AddAttribute(c, "@id", "1");
+  EXPECT_TRUE(schema->Validate(ok_doc));
+
+  // Wrong order: c before b.
+  Document bad_order(&alphabet);
+  NodeId a2 = bad_order.AddElement(bad_order.root(), "a");
+  NodeId c2 = bad_order.AddElement(a2, "c");
+  bad_order.AddAttribute(c2, "@id", "1");
+  NodeId b2 = bad_order.AddElement(a2, "b");
+  bad_order.AddText(b2, "hi");
+  EXPECT_FALSE(schema->Validate(bad_order));
+
+  // Undeclared element.
+  Document bad_elem(&alphabet);
+  NodeId a3 = bad_elem.AddElement(bad_elem.root(), "a");
+  bad_elem.AddElement(a3, "zzz");
+  EXPECT_FALSE(schema->Validate(bad_elem));
+
+  // b must contain exactly one text node.
+  Document bad_b(&alphabet);
+  NodeId a4 = bad_b.AddElement(bad_b.root(), "a");
+  bad_b.AddElement(a4, "b");
+  EXPECT_FALSE(schema->Validate(bad_b));
+
+  // Wrong root element.
+  Document bad_root(&alphabet);
+  bad_root.AddElement(bad_root.root(), "b");
+  EXPECT_FALSE(schema->Validate(bad_root));
+
+  // Two root elements.
+  Document two_roots(&alphabet);
+  two_roots.AddElement(two_roots.root(), "a");
+  two_roots.AddElement(two_roots.root(), "a");
+  EXPECT_FALSE(schema->Validate(two_roots));
+}
+
+TEST(SchemaTest, MultipleRoots) {
+  Alphabet alphabet;
+  auto schema = Schema::Parse(&alphabet, R"(
+    schema {
+      root a, b;
+      element a { }
+      element b { }
+    }
+  )");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  Document da(&alphabet);
+  da.AddElement(da.root(), "a");
+  Document db(&alphabet);
+  db.AddElement(db.root(), "b");
+  EXPECT_TRUE(schema->Validate(da));
+  EXPECT_TRUE(schema->Validate(db));
+}
+
+TEST(SchemaTest, ExamSchemaAcceptsPaperDocument) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  EXPECT_TRUE(schema.Validate(doc));
+}
+
+TEST(SchemaTest, ExamSchemaAcceptsGeneratedDocuments) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    workload::ExamWorkloadParams params;
+    params.num_candidates = 25;
+    params.seed = seed;
+    Document doc = workload::GenerateExamDocument(&alphabet, params);
+    EXPECT_TRUE(schema.Validate(doc)) << "seed " << seed;
+  }
+}
+
+TEST(SchemaTest, ExamSchemaForbidsBothClosingChildren) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  schema::Schema strict = workload::BuildExamSchema(&alphabet);
+  schema::Schema permissive = workload::BuildPermissiveExamSchema(&alphabet);
+
+  // Candidate 001 has toBePassed; give it also firstJob-Year.
+  NodeId session = doc.first_child(doc.root());
+  NodeId c1 = doc.first_child(session);
+  NodeId fj = doc.AddElement(c1, "firstJob-Year");
+  doc.AddText(fj, "2014");
+
+  EXPECT_FALSE(strict.Validate(doc));
+  EXPECT_TRUE(permissive.Validate(doc));
+}
+
+TEST(SchemaTest, ExamSchemaRejectsCandidateWithoutClosingChild) {
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  schema::Schema strict = workload::BuildExamSchema(&alphabet);
+
+  NodeId session = doc.first_child(doc.root());
+  NodeId c1 = doc.first_child(session);
+  for (NodeId k : doc.Children(c1)) {
+    if (doc.label_name(k) == "toBePassed") doc.DetachSubtree(k);
+  }
+  EXPECT_FALSE(strict.Validate(doc));
+}
+
+TEST(SchemaTest, WitnessDocumentIsValid) {
+  Alphabet alphabet;
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+  EXPECT_FALSE(schema.automaton().IsEmptyLanguage());
+  auto witness = schema.automaton().FindWitnessDocument(&alphabet);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(schema.Validate(*witness));
+}
+
+TEST(SchemaTest, ValidationAfterUpdateDetectsDrift) {
+  // A schema-violating update is detected by re-validation.
+  Alphabet alphabet;
+  Document doc = workload::BuildPaperFigure1Document(&alphabet);
+  schema::Schema schema = workload::BuildExamSchema(&alphabet);
+
+  auto parsed = pattern::ParsePattern(&alphabet, R"(
+    root { s = session/candidate/level; }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto cls = update::UpdateClass::FromParsed(std::move(parsed).value());
+  ASSERT_TRUE(cls.ok());
+  update::Update del{&*cls, update::DeleteSelf{}};
+  ASSERT_TRUE(update::ApplyUpdate(&doc, del).ok());
+  EXPECT_FALSE(schema.Validate(doc));
+}
+
+}  // namespace
+}  // namespace rtp::schema

@@ -1,0 +1,137 @@
+// The paper's update model (Section 4): every update is a replacement of
+// the subtrees rooted at the selected nodes, and insertions/deletions are
+// replacements at the parent. These tests verify the provided convenience
+// operations are consistent with that canonical model.
+
+#include <gtest/gtest.h>
+
+#include "update/update_ops.h"
+#include "workload/exam_generator.h"
+#include "xml/value_equality.h"
+
+namespace rtp::update {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+UpdateClass MustClass(Alphabet* alphabet, std::string_view text) {
+  auto parsed = pattern::ParsePattern(alphabet, text);
+  RTP_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  auto cls = UpdateClass::FromParsed(std::move(parsed).value());
+  RTP_CHECK(cls.ok());
+  return std::move(cls).value();
+}
+
+// AppendChild at node w == ReplaceSubtree at w with a copy of w's own
+// subtree plus the appended child.
+TEST(UpdateModelTest, AppendChildEqualsReplacement) {
+  Alphabet alphabet;
+  Document via_append = workload::BuildPaperFigure1Document(&alphabet);
+  Document via_replace = workload::BuildPaperFigure1Document(&alphabet);
+  UpdateClass levels = MustClass(
+      &alphabet, "root { session/candidate { s = level; toBePassed; } } select s;");
+
+  auto comment = std::make_shared<Document>(&alphabet);
+  NodeId c = comment->AddElement(comment->root(), "comment");
+  comment->AddText(c, "x");
+
+  // Route 1: AppendChild.
+  Update q_append{&levels, AppendChild{comment, c}};
+  ASSERT_TRUE(ApplyUpdate(&via_append, q_append).ok());
+
+  // Route 2: canonical replacement — build the replacement subtree by
+  // copying the selected node and appending the child to the copy.
+  std::vector<NodeId> selected = levels.SelectNodes(via_replace);
+  ASSERT_EQ(selected.size(), 1u);
+  auto replacement = std::make_shared<Document>(&alphabet);
+  NodeId copy =
+      replacement->CopySubtree(via_replace, selected[0], replacement->root());
+  replacement->CopySubtree(*comment, c, copy);
+  Update q_replace{&levels, ReplaceSubtree{replacement, copy}};
+  ASSERT_TRUE(ApplyUpdate(&via_replace, q_replace).ok());
+
+  EXPECT_TRUE(xml::ValueEqual(via_append, via_append.root(), via_replace,
+                              via_replace.root()));
+}
+
+// DeleteSelf at node w == ReplaceSubtree at parent(w) with the parent's
+// subtree minus w (the paper's "deletion is an update of the father").
+TEST(UpdateModelTest, DeleteSelfEqualsParentReplacement) {
+  Alphabet alphabet;
+  Document via_delete = workload::BuildPaperFigure1Document(&alphabet);
+  Document via_replace = workload::BuildPaperFigure1Document(&alphabet);
+
+  UpdateClass tbp = MustClass(
+      &alphabet, "root { s = session/candidate/toBePassed; } select s;");
+  Update q_delete{&tbp, DeleteSelf{}};
+  ASSERT_TRUE(ApplyUpdate(&via_delete, q_delete).ok());
+
+  // Canonical: replace the candidate (the parent) by a copy without the
+  // toBePassed child.
+  std::vector<NodeId> selected = tbp.SelectNodes(via_replace);
+  ASSERT_EQ(selected.size(), 1u);
+  NodeId parent = via_replace.parent(selected[0]);
+  auto replacement = std::make_shared<Document>(&alphabet);
+  NodeId copy =
+      replacement->CopySubtree(via_replace, parent, replacement->root());
+  // Remove the copied toBePassed from the copy.
+  for (NodeId k : replacement->Children(copy)) {
+    if (replacement->label_name(k) == "toBePassed") {
+      replacement->DetachSubtree(k);
+    }
+  }
+  std::vector<NodeId> parent_nodes = {parent};
+  auto stats =
+      ApplyOperationAt(&via_replace, parent_nodes,
+                       ReplaceSubtree{replacement, copy});
+  ASSERT_TRUE(stats.ok());
+
+  EXPECT_TRUE(xml::ValueEqual(via_delete, via_delete.root(), via_replace,
+                              via_replace.root()));
+}
+
+// SetValue on a leaf == ReplaceSubtree with a single-leaf document.
+TEST(UpdateModelTest, SetValueEqualsLeafReplacement) {
+  Alphabet alphabet;
+  Document via_set = workload::BuildPaperFigure1Document(&alphabet);
+  Document via_replace = workload::BuildPaperFigure1Document(&alphabet);
+  UpdateClass idns =
+      MustClass(&alphabet, "root { s = session/candidate/@IDN; } select s;");
+
+  Update q_set{&idns, SetValue{"ZZZ"}};
+  ASSERT_TRUE(ApplyUpdate(&via_set, q_set).ok());
+
+  auto leaf = std::make_shared<Document>(&alphabet);
+  leaf->AddAttribute(leaf->root(), "@IDN", "ZZZ");
+  Update q_replace{&idns, ReplaceSubtree{leaf, leaf->first_child(leaf->root())}};
+  ASSERT_TRUE(ApplyUpdate(&via_replace, q_replace).ok());
+
+  EXPECT_TRUE(xml::ValueEqual(via_set, via_set.root(), via_replace,
+                              via_replace.root()));
+}
+
+// Updates of the same class commute with selection: selecting then
+// applying per-node equals ApplyUpdate in one go.
+TEST(UpdateModelTest, ApplyUpdateEqualsManualPerNodeApplication) {
+  Alphabet alphabet;
+  Document one_shot = workload::BuildPaperFigure1Document(&alphabet);
+  Document manual = workload::BuildPaperFigure1Document(&alphabet);
+  UpdateClass ranks =
+      MustClass(&alphabet, "root { s = session/candidate/exam/rank; } select s;");
+  UpdateOperation op = TransformValues{[](std::string_view v) {
+    return std::string(v) + "!";
+  }};
+
+  Update q{&ranks, op};
+  ASSERT_TRUE(ApplyUpdate(&one_shot, q).ok());
+
+  std::vector<NodeId> nodes = ranks.SelectNodes(manual);
+  ASSERT_TRUE(ApplyOperationAt(&manual, nodes, op).ok());
+
+  EXPECT_TRUE(
+      xml::ValueEqual(one_shot, one_shot.root(), manual, manual.root()));
+}
+
+}  // namespace
+}  // namespace rtp::update

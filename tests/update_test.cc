@@ -1,0 +1,234 @@
+#include "update/update_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/fd_checker.h"
+#include "workload/exam_generator.h"
+#include "workload/paper_patterns.h"
+#include "xml/value_equality.h"
+
+namespace rtp::update {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+UpdateClass MustUpdateClass(pattern::ParsedPattern parsed) {
+  auto u = UpdateClass::FromParsed(std::move(parsed));
+  RTP_CHECK_MSG(u.ok(), u.status().ToString().c_str());
+  return std::move(u).value();
+}
+
+// "Decrease the level to the level just below" (paper query q1).
+std::string DecreaseLevel(std::string_view level) {
+  if (level.size() == 1 && level[0] >= 'A' && level[0] < 'E') {
+    return std::string(1, static_cast<char>(level[0] + 1));
+  }
+  return std::string(level);
+}
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  UpdateTest() : doc_(workload::BuildPaperFigure1Document(&alphabet_)) {}
+
+  NodeId CandidateByIdn(std::string_view idn) {
+    NodeId session = doc_.first_child(doc_.root());
+    for (NodeId c : doc_.Children(session)) {
+      if (doc_.value(doc_.first_child(c)) == idn) return c;
+    }
+    return xml::kInvalidNode;
+  }
+
+  std::string LevelOf(NodeId candidate) {
+    for (NodeId c : doc_.Children(candidate)) {
+      if (doc_.label_name(c) == "level") return doc_.value(doc_.first_child(c));
+    }
+    return "";
+  }
+
+  Alphabet alphabet_;
+  Document doc_;
+};
+
+TEST_F(UpdateTest, CreateRequiresSelection) {
+  auto parsed = pattern::ParsePattern(&alphabet_, "root { a; }");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(UpdateClass::FromParsed(std::move(parsed).value()).ok());
+}
+
+TEST_F(UpdateTest, SelectedAreLeavesDetection) {
+  UpdateClass u_leaf = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  EXPECT_TRUE(u_leaf.SelectedAreLeaves());
+
+  auto parsed = pattern::ParsePattern(&alphabet_, R"(
+    root { s = session { candidate; } }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  UpdateClass u_internal = MustUpdateClass(std::move(parsed).value());
+  EXPECT_FALSE(u_internal.SelectedAreLeaves());
+}
+
+TEST_F(UpdateTest, Example4ClassUSelectsOnlyCandidate001Level) {
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  std::vector<NodeId> nodes = u.SelectNodes(doc_);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_.label_name(nodes[0]), "level");
+  EXPECT_EQ(doc_.parent(nodes[0]), CandidateByIdn("001"));
+}
+
+TEST_F(UpdateTest, Q1DecreasesLevelOfCandidate001Only) {
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  Update q1{&u, TransformValues{DecreaseLevel}};
+  auto stats = ApplyUpdate(&doc_, q1);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->nodes_updated, 1u);
+  EXPECT_EQ(LevelOf(CandidateByIdn("001")), "C");  // was B
+  EXPECT_EQ(LevelOf(CandidateByIdn("012")), "C");  // untouched
+}
+
+TEST_F(UpdateTest, Q2AppendsCommentChildToLevel) {
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  auto comment = std::make_shared<Document>(&alphabet_);
+  NodeId c = comment->AddElement(comment->root(), "comment");
+  comment->AddText(c, "must retake chemistry");
+  Update q2{&u, AppendChild{comment, c}};
+  auto stats = ApplyUpdate(&doc_, q2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->nodes_updated, 1u);
+
+  NodeId level = xml::kInvalidNode;
+  for (NodeId k : doc_.Children(CandidateByIdn("001"))) {
+    if (doc_.label_name(k) == "level") level = k;
+  }
+  ASSERT_NE(level, xml::kInvalidNode);
+  std::vector<NodeId> kids = doc_.Children(level);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(doc_.label_name(kids[1]), "comment");
+}
+
+TEST_F(UpdateTest, ReplaceSubtreeSwapsSelectedNode) {
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  auto repl = std::make_shared<Document>(&alphabet_);
+  NodeId r = repl->AddElement(repl->root(), "level");
+  repl->AddText(r, "E");
+  Update q{&u, ReplaceSubtree{repl, r}};
+  ASSERT_TRUE(ApplyUpdate(&doc_, q).ok());
+  EXPECT_EQ(LevelOf(CandidateByIdn("001")), "E");
+}
+
+TEST_F(UpdateTest, SetValueOnlyOnLeaves) {
+  // Select @IDN attributes.
+  auto parsed = pattern::ParsePattern(&alphabet_, R"(
+    root { s = session/candidate/@IDN; }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  UpdateClass u_attr = MustUpdateClass(std::move(parsed).value());
+  Update set{&u_attr, SetValue{"XXX"}};
+  auto stats = ApplyUpdate(&doc_, set);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->nodes_updated, 2u);
+  EXPECT_EQ(doc_.value(doc_.first_child(CandidateByIdn("XXX"))), "XXX");
+
+  // SetValue on element nodes is rejected.
+  UpdateClass u_level = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  Update bad{&u_level, SetValue{"Z"}};
+  EXPECT_FALSE(ApplyUpdate(&doc_, bad).ok());
+}
+
+TEST_F(UpdateTest, DeleteChildrenAndDeleteSelf) {
+  auto parsed = pattern::ParsePattern(&alphabet_, R"(
+    root { s = session/candidate/toBePassed; }
+    select s;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  UpdateClass u = MustUpdateClass(std::move(parsed).value());
+
+  Document doc2 = workload::BuildPaperFigure1Document(&alphabet_);
+  Update del_children{&u, DeleteChildren{}};
+  ASSERT_TRUE(ApplyUpdate(&doc2, del_children).ok());
+  // toBePassed still present, but empty.
+  std::vector<NodeId> selected = u.SelectNodes(doc2);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(doc2.ChildCount(selected[0]), 0u);
+
+  Update del_self{&u, DeleteSelf{}};
+  ASSERT_TRUE(ApplyUpdate(&doc_, del_self).ok());
+  EXPECT_TRUE(u.SelectNodes(doc_).empty());
+}
+
+TEST_F(UpdateTest, NestedSelectionsCollapseToAncestor) {
+  // Pattern selecting both every candidate and every exam below it.
+  auto parsed = pattern::ParsePattern(&alphabet_, R"(
+    root {
+      session {
+        a = candidate {
+          b = exam;
+        }
+      }
+    }
+    select a, b;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  UpdateClass u = MustUpdateClass(std::move(parsed).value());
+  Update del{&u, DeleteSelf{}};
+  auto stats = ApplyUpdate(&doc_, del);
+  ASSERT_TRUE(stats.ok());
+  // Two candidates deleted; their exams were subsumed.
+  EXPECT_EQ(stats->nodes_updated, 2u);
+  NodeId session = doc_.first_child(doc_.root());
+  EXPECT_EQ(doc_.ChildCount(session), 0u);
+}
+
+TEST_F(UpdateTest, FailedPreconditionLeavesDocumentUnchanged) {
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  Document before = workload::BuildPaperFigure1Document(&alphabet_);
+  Update bad{&u, SetValue{"Z"}};  // level is an element: rejected
+  ASSERT_FALSE(ApplyUpdate(&doc_, bad).ok());
+  EXPECT_TRUE(xml::ValueEqual(doc_, doc_.root(), before, before.root()));
+}
+
+// --- Example 5: q1 impacts fd3. ---
+
+TEST_F(UpdateTest, Example5UpdateQ1ImpactsFd3) {
+  // Document satisfying fd3: two candidates with equal marks in two
+  // disciplines and the same level; only the first still has exams to pass.
+  Document doc(&alphabet_);
+  NodeId session = doc.AddElement(doc.root(), "session");
+  for (int i = 0; i < 2; ++i) {
+    NodeId c = doc.AddElement(session, "candidate");
+    doc.AddAttribute(c, "@IDN", i == 0 ? "g1" : "g2");
+    for (const char* mark : {"12", "17"}) {
+      NodeId exam = doc.AddElement(c, "exam");
+      NodeId d = doc.AddElement(exam, "discipline");
+      doc.AddText(d, mark[0] == '1' && mark[1] == '2' ? "bio" : "math");
+      NodeId m = doc.AddElement(exam, "mark");
+      doc.AddText(m, mark);
+    }
+    NodeId level = doc.AddElement(c, "level");
+    doc.AddText(level, "B");
+    if (i == 0) {
+      NodeId tbp = doc.AddElement(c, "toBePassed");
+      NodeId d = doc.AddElement(tbp, "discipline");
+      doc.AddText(d, "chem");
+    } else {
+      NodeId fj = doc.AddElement(c, "firstJob-Year");
+      doc.AddText(fj, "2012");
+    }
+  }
+
+  auto fd3 = fd::FunctionalDependency::FromParsed(workload::PaperFd3(&alphabet_));
+  ASSERT_TRUE(fd3.ok());
+  EXPECT_TRUE(fd::CheckFd(*fd3, doc).satisfied);
+
+  UpdateClass u = MustUpdateClass(workload::PaperUpdateU(&alphabet_));
+  Update q1{&u, TransformValues{DecreaseLevel}};
+  ASSERT_TRUE(ApplyUpdate(&doc, q1).ok());
+
+  // Only g1's level was decreased: fd3 is now violated.
+  EXPECT_FALSE(fd::CheckFd(*fd3, doc).satisfied);
+}
+
+}  // namespace
+}  // namespace rtp::update

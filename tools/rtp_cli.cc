@@ -1,0 +1,224 @@
+// rtp_cli — command-line front end for the library.
+//
+//   rtp_cli validate    <schema-file> <xml-file>
+//   rtp_cli checkfd     <fd-file> <xml-file>
+//   rtp_cli eval        <pattern-file> <xml-file>
+//   rtp_cli xpath       <query> <xml-file>
+//   rtp_cli independent <fd-file> <update-pattern-file> [schema-file]
+//   rtp_cli materialize <view-pattern-file> <xml-file>
+//
+// Pattern/FD files use the DSL of pattern_parser.h; schema files the DSL
+// of schema.h. Exit code 0 means "holds" (valid / satisfied / independent),
+// 1 means the negative verdict, 2 a usage or input error.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fd/fd_checker.h"
+#include "independence/criterion.h"
+#include "automata/pattern_compiler.h"
+#include "pattern/dot_export.h"
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+#include "schema/schema.h"
+#include "update/update_class.h"
+#include "view/view.h"
+#include "xml/xml_io.h"
+#include "xpath/xpath.h"
+
+namespace {
+
+using namespace rtp;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rtp_cli validate    <schema-file> <xml-file>\n"
+               "       rtp_cli checkfd     <fd-file> <xml-file>\n"
+               "       rtp_cli eval        <pattern-file> <xml-file>\n"
+               "       rtp_cli xpath       <query> <xml-file>\n"
+               "       rtp_cli independent <fd-file> <update-file> "
+               "[schema-file]\n"
+               "       rtp_cli materialize <view-file> <xml-file>\n"
+               "       rtp_cli dot         pattern|automaton <pattern-file>\n");
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+#define CLI_ASSIGN(lhs, expr)                                       \
+  auto lhs##_or = (expr);                                           \
+  if (!lhs##_or.ok()) {                                             \
+    std::fprintf(stderr, "error: %s\n",                             \
+                 lhs##_or.status().ToString().c_str());             \
+    return 2;                                                       \
+  }                                                                 \
+  auto lhs = std::move(lhs##_or).value();
+
+int CmdValidate(Alphabet* alphabet, const std::string& schema_path,
+                const std::string& xml_path) {
+  CLI_ASSIGN(schema_text, ReadFile(schema_path));
+  CLI_ASSIGN(xml_text, ReadFile(xml_path));
+  CLI_ASSIGN(schema, schema::Schema::Parse(alphabet, schema_text));
+  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
+  bool valid = schema.Validate(doc);
+  std::printf("%s\n", valid ? "valid" : "INVALID");
+  return valid ? 0 : 1;
+}
+
+int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
+               const std::string& xml_path) {
+  CLI_ASSIGN(fd_text, ReadFile(fd_path));
+  CLI_ASSIGN(xml_text, ReadFile(xml_path));
+  CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, fd_text));
+  CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(parsed)));
+  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
+  fd::CheckResult result = fd::CheckFd(fd, doc);
+  std::printf("%s (%zu mappings, %zu groups)\n",
+              result.satisfied ? "satisfied" : "VIOLATED",
+              result.num_mappings, result.num_groups);
+  if (!result.satisfied) {
+    std::printf("%s", result.violation->Describe(doc, fd).c_str());
+  }
+  return result.satisfied ? 0 : 1;
+}
+
+int CmdEval(Alphabet* alphabet, const std::string& pattern_path,
+            const std::string& xml_path) {
+  CLI_ASSIGN(pattern_text, ReadFile(pattern_path));
+  CLI_ASSIGN(xml_text, ReadFile(xml_path));
+  CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, pattern_text));
+  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
+  auto tuples = pattern::EvaluateSelected(parsed.pattern, doc);
+  std::printf("%zu tuple(s)\n", tuples.size());
+  for (const auto& tuple : tuples) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i ? "\t" : "",
+                  xml::WriteXmlSubtree(doc, tuple[i], /*indent=*/false).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdXPath(Alphabet* alphabet, const std::string& query,
+             const std::string& xml_path) {
+  CLI_ASSIGN(xml_text, ReadFile(xml_path));
+  CLI_ASSIGN(compiled, xpath::CompileXPath(alphabet, query));
+  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
+  std::vector<xml::NodeId> nodes = xpath::EvaluateXPath(compiled, doc);
+  std::printf("%zu node(s)\n", nodes.size());
+  for (xml::NodeId n : nodes) {
+    std::printf("%s\n",
+                xml::WriteXmlSubtree(doc, n, /*indent=*/false).c_str());
+  }
+  return 0;
+}
+
+int CmdIndependent(Alphabet* alphabet, const std::string& fd_path,
+                   const std::string& update_path,
+                   const std::string& schema_path) {
+  CLI_ASSIGN(fd_text, ReadFile(fd_path));
+  CLI_ASSIGN(update_text, ReadFile(update_path));
+  CLI_ASSIGN(fd_parsed, pattern::ParsePattern(alphabet, fd_text));
+  CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(fd_parsed)));
+  CLI_ASSIGN(u_parsed, pattern::ParsePattern(alphabet, update_text));
+  CLI_ASSIGN(cls, update::UpdateClass::FromParsed(std::move(u_parsed)));
+
+  std::optional<schema::Schema> schema_storage;
+  const schema::Schema* schema = nullptr;
+  if (!schema_path.empty()) {
+    CLI_ASSIGN(schema_text, ReadFile(schema_path));
+    CLI_ASSIGN(parsed_schema, schema::Schema::Parse(alphabet, schema_text));
+    schema_storage = std::move(parsed_schema);
+    schema = &*schema_storage;
+  }
+
+  independence::CriterionOptions options;
+  options.want_conflict_candidate = true;
+  CLI_ASSIGN(verdict, independence::CheckIndependence(fd, cls, schema,
+                                                      alphabet, options));
+  if (verdict.independent) {
+    std::printf("independent (criterion IC holds; product size %lld)\n",
+                static_cast<long long>(verdict.product_size));
+    return 0;
+  }
+  std::printf("unknown — the criterion cannot rule out an impact\n");
+  if (verdict.conflict_candidate.has_value()) {
+    std::printf("conflict candidate document:\n%s",
+                xml::WriteXml(*verdict.conflict_candidate).c_str());
+  }
+  return 1;
+}
+
+int CmdDot(Alphabet* alphabet, const std::string& what,
+           const std::string& pattern_path) {
+  CLI_ASSIGN(pattern_text, ReadFile(pattern_path));
+  CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, pattern_text));
+  if (what == "pattern") {
+    std::printf("%s", pattern::PatternToDot(
+                          parsed.pattern, *alphabet,
+                          parsed.context.value_or(pattern::kInvalidPatternNode))
+                          .c_str());
+    return 0;
+  }
+  if (what == "automaton") {
+    automata::HedgeAutomaton automaton = automata::CompilePattern(
+        parsed.pattern, automata::MarkMode::kTraceAndSelectedSubtrees);
+    std::printf("%s", automata::AutomatonToDot(automaton, *alphabet).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "error: dot target must be 'pattern' or 'automaton'\n");
+  return 2;
+}
+
+int CmdMaterialize(Alphabet* alphabet, const std::string& view_path,
+                   const std::string& xml_path) {
+  CLI_ASSIGN(view_text, ReadFile(view_path));
+  CLI_ASSIGN(xml_text, ReadFile(xml_path));
+  CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, view_text));
+  CLI_ASSIGN(v, view::View::FromParsed(std::move(parsed)));
+  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
+  xml::Document result = v.Materialize(doc);
+  std::printf("%s", xml::WriteXml(result).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Alphabet alphabet;
+  if (cmd == "validate" && argc == 4) {
+    return CmdValidate(&alphabet, argv[2], argv[3]);
+  }
+  if (cmd == "checkfd" && argc == 4) {
+    return CmdCheckFd(&alphabet, argv[2], argv[3]);
+  }
+  if (cmd == "eval" && argc == 4) {
+    return CmdEval(&alphabet, argv[2], argv[3]);
+  }
+  if (cmd == "xpath" && argc == 4) {
+    return CmdXPath(&alphabet, argv[2], argv[3]);
+  }
+  if (cmd == "independent" && (argc == 4 || argc == 5)) {
+    return CmdIndependent(&alphabet, argv[2], argv[3],
+                          argc == 5 ? argv[4] : "");
+  }
+  if (cmd == "materialize" && argc == 4) {
+    return CmdMaterialize(&alphabet, argv[2], argv[3]);
+  }
+  if (cmd == "dot" && argc == 4) {
+    return CmdDot(&alphabet, argv[2], argv[3]);
+  }
+  return Usage();
+}
