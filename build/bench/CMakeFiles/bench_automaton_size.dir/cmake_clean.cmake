@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_automaton_size.dir/bench_automaton_size.cc.o"
+  "CMakeFiles/bench_automaton_size.dir/bench_automaton_size.cc.o.d"
+  "bench_automaton_size"
+  "bench_automaton_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_automaton_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

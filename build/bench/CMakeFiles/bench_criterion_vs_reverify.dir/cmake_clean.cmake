@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_criterion_vs_reverify.dir/bench_criterion_vs_reverify.cc.o"
+  "CMakeFiles/bench_criterion_vs_reverify.dir/bench_criterion_vs_reverify.cc.o.d"
+  "bench_criterion_vs_reverify"
+  "bench_criterion_vs_reverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_criterion_vs_reverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

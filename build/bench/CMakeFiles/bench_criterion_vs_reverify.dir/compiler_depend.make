@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_criterion_vs_reverify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ic_precision.dir/bench_ic_precision.cc.o"
+  "CMakeFiles/bench_ic_precision.dir/bench_ic_precision.cc.o.d"
+  "bench_ic_precision"
+  "bench_ic_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ic_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_eval.dir/bench_pattern_eval.cc.o"
+  "CMakeFiles/bench_pattern_eval.dir/bench_pattern_eval.cc.o.d"
+  "bench_pattern_eval"
+  "bench_pattern_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regex_inclusion.dir/bench_regex_inclusion.cc.o"
+  "CMakeFiles/bench_regex_inclusion.dir/bench_regex_inclusion.cc.o.d"
+  "bench_regex_inclusion"
+  "bench_regex_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regex_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_regex_inclusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_validate.dir/bench_schema_validate.cc.o"
+  "CMakeFiles/bench_schema_validate.dir/bench_schema_validate.cc.o.d"
+  "bench_schema_validate"
+  "bench_schema_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

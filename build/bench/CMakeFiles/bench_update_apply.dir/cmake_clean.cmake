@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_apply.dir/bench_update_apply.cc.o"
+  "CMakeFiles/bench_update_apply.dir/bench_update_apply.cc.o.d"
+  "bench_update_apply"
+  "bench_update_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

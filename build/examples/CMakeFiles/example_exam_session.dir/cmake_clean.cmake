@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_exam_session.dir/exam_session.cpp.o"
+  "CMakeFiles/example_exam_session.dir/exam_session.cpp.o.d"
+  "example_exam_session"
+  "example_exam_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_exam_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hardness_demo.dir/hardness_demo.cpp.o"
+  "CMakeFiles/example_hardness_demo.dir/hardness_demo.cpp.o.d"
+  "example_hardness_demo"
+  "example_hardness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hardness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

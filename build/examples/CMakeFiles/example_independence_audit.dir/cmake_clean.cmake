@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_independence_audit.dir/independence_audit.cpp.o"
+  "CMakeFiles/example_independence_audit.dir/independence_audit.cpp.o.d"
+  "example_independence_audit"
+  "example_independence_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_independence_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

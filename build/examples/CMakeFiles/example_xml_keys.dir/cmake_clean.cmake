@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xml_keys.dir/xml_keys.cpp.o"
+  "CMakeFiles/example_xml_keys.dir/xml_keys.cpp.o.d"
+  "example_xml_keys"
+  "example_xml_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xml_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xpath_queries.dir/xpath_queries.cpp.o"
+  "CMakeFiles/example_xpath_queries.dir/xpath_queries.cpp.o.d"
+  "example_xpath_queries"
+  "example_xpath_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xpath_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

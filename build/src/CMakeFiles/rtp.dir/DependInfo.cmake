@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/hedge_automaton.cc" "src/CMakeFiles/rtp.dir/automata/hedge_automaton.cc.o" "gcc" "src/CMakeFiles/rtp.dir/automata/hedge_automaton.cc.o.d"
+  "/root/repo/src/automata/pattern_compiler.cc" "src/CMakeFiles/rtp.dir/automata/pattern_compiler.cc.o" "gcc" "src/CMakeFiles/rtp.dir/automata/pattern_compiler.cc.o.d"
+  "/root/repo/src/automata/product.cc" "src/CMakeFiles/rtp.dir/automata/product.cc.o" "gcc" "src/CMakeFiles/rtp.dir/automata/product.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rtp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rtp.dir/common/status.cc.o.d"
+  "/root/repo/src/fd/fd_checker.cc" "src/CMakeFiles/rtp.dir/fd/fd_checker.cc.o" "gcc" "src/CMakeFiles/rtp.dir/fd/fd_checker.cc.o.d"
+  "/root/repo/src/fd/fd_index.cc" "src/CMakeFiles/rtp.dir/fd/fd_index.cc.o" "gcc" "src/CMakeFiles/rtp.dir/fd/fd_index.cc.o.d"
+  "/root/repo/src/fd/functional_dependency.cc" "src/CMakeFiles/rtp.dir/fd/functional_dependency.cc.o" "gcc" "src/CMakeFiles/rtp.dir/fd/functional_dependency.cc.o.d"
+  "/root/repo/src/fd/path_fd.cc" "src/CMakeFiles/rtp.dir/fd/path_fd.cc.o" "gcc" "src/CMakeFiles/rtp.dir/fd/path_fd.cc.o.d"
+  "/root/repo/src/fd/reference_checker.cc" "src/CMakeFiles/rtp.dir/fd/reference_checker.cc.o" "gcc" "src/CMakeFiles/rtp.dir/fd/reference_checker.cc.o.d"
+  "/root/repo/src/independence/criterion.cc" "src/CMakeFiles/rtp.dir/independence/criterion.cc.o" "gcc" "src/CMakeFiles/rtp.dir/independence/criterion.cc.o.d"
+  "/root/repo/src/independence/hardness.cc" "src/CMakeFiles/rtp.dir/independence/hardness.cc.o" "gcc" "src/CMakeFiles/rtp.dir/independence/hardness.cc.o.d"
+  "/root/repo/src/independence/impact_search.cc" "src/CMakeFiles/rtp.dir/independence/impact_search.cc.o" "gcc" "src/CMakeFiles/rtp.dir/independence/impact_search.cc.o.d"
+  "/root/repo/src/independence/matrix.cc" "src/CMakeFiles/rtp.dir/independence/matrix.cc.o" "gcc" "src/CMakeFiles/rtp.dir/independence/matrix.cc.o.d"
+  "/root/repo/src/pattern/dot_export.cc" "src/CMakeFiles/rtp.dir/pattern/dot_export.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/dot_export.cc.o.d"
+  "/root/repo/src/pattern/evaluator.cc" "src/CMakeFiles/rtp.dir/pattern/evaluator.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/evaluator.cc.o.d"
+  "/root/repo/src/pattern/pattern_parser.cc" "src/CMakeFiles/rtp.dir/pattern/pattern_parser.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/pattern_parser.cc.o.d"
+  "/root/repo/src/pattern/pattern_writer.cc" "src/CMakeFiles/rtp.dir/pattern/pattern_writer.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/pattern_writer.cc.o.d"
+  "/root/repo/src/pattern/reference_evaluator.cc" "src/CMakeFiles/rtp.dir/pattern/reference_evaluator.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/reference_evaluator.cc.o.d"
+  "/root/repo/src/pattern/tree_pattern.cc" "src/CMakeFiles/rtp.dir/pattern/tree_pattern.cc.o" "gcc" "src/CMakeFiles/rtp.dir/pattern/tree_pattern.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/CMakeFiles/rtp.dir/regex/dfa.cc.o" "gcc" "src/CMakeFiles/rtp.dir/regex/dfa.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/CMakeFiles/rtp.dir/regex/nfa.cc.o" "gcc" "src/CMakeFiles/rtp.dir/regex/nfa.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/CMakeFiles/rtp.dir/regex/regex.cc.o" "gcc" "src/CMakeFiles/rtp.dir/regex/regex.cc.o.d"
+  "/root/repo/src/regex/regex_ast.cc" "src/CMakeFiles/rtp.dir/regex/regex_ast.cc.o" "gcc" "src/CMakeFiles/rtp.dir/regex/regex_ast.cc.o.d"
+  "/root/repo/src/regex/regex_parser.cc" "src/CMakeFiles/rtp.dir/regex/regex_parser.cc.o" "gcc" "src/CMakeFiles/rtp.dir/regex/regex_parser.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/rtp.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/rtp.dir/schema/schema.cc.o.d"
+  "/root/repo/src/update/update_class.cc" "src/CMakeFiles/rtp.dir/update/update_class.cc.o" "gcc" "src/CMakeFiles/rtp.dir/update/update_class.cc.o.d"
+  "/root/repo/src/update/update_ops.cc" "src/CMakeFiles/rtp.dir/update/update_ops.cc.o" "gcc" "src/CMakeFiles/rtp.dir/update/update_ops.cc.o.d"
+  "/root/repo/src/view/view.cc" "src/CMakeFiles/rtp.dir/view/view.cc.o" "gcc" "src/CMakeFiles/rtp.dir/view/view.cc.o.d"
+  "/root/repo/src/workload/bib_generator.cc" "src/CMakeFiles/rtp.dir/workload/bib_generator.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/bib_generator.cc.o.d"
+  "/root/repo/src/workload/exam_generator.cc" "src/CMakeFiles/rtp.dir/workload/exam_generator.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/exam_generator.cc.o.d"
+  "/root/repo/src/workload/exam_schema.cc" "src/CMakeFiles/rtp.dir/workload/exam_schema.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/exam_schema.cc.o.d"
+  "/root/repo/src/workload/paper_patterns.cc" "src/CMakeFiles/rtp.dir/workload/paper_patterns.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/paper_patterns.cc.o.d"
+  "/root/repo/src/workload/random_document.cc" "src/CMakeFiles/rtp.dir/workload/random_document.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/random_document.cc.o.d"
+  "/root/repo/src/workload/random_pattern.cc" "src/CMakeFiles/rtp.dir/workload/random_pattern.cc.o" "gcc" "src/CMakeFiles/rtp.dir/workload/random_pattern.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/rtp.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/rtp.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/value_equality.cc" "src/CMakeFiles/rtp.dir/xml/value_equality.cc.o" "gcc" "src/CMakeFiles/rtp.dir/xml/value_equality.cc.o.d"
+  "/root/repo/src/xml/xml_io.cc" "src/CMakeFiles/rtp.dir/xml/xml_io.cc.o" "gcc" "src/CMakeFiles/rtp.dir/xml/xml_io.cc.o.d"
+  "/root/repo/src/xpath/xpath.cc" "src/CMakeFiles/rtp.dir/xpath/xpath.cc.o" "gcc" "src/CMakeFiles/rtp.dir/xpath/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

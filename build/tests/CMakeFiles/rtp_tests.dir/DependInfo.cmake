@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automata_property_test.cc" "tests/CMakeFiles/rtp_tests.dir/automata_property_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/automata_property_test.cc.o.d"
+  "/root/repo/tests/automata_test.cc" "tests/CMakeFiles/rtp_tests.dir/automata_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/automata_test.cc.o.d"
+  "/root/repo/tests/bib_integration_test.cc" "tests/CMakeFiles/rtp_tests.dir/bib_integration_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/bib_integration_test.cc.o.d"
+  "/root/repo/tests/combinatorics_test.cc" "tests/CMakeFiles/rtp_tests.dir/combinatorics_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/combinatorics_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/rtp_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/criterion_cases_test.cc" "tests/CMakeFiles/rtp_tests.dir/criterion_cases_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/criterion_cases_test.cc.o.d"
+  "/root/repo/tests/document_test.cc" "tests/CMakeFiles/rtp_tests.dir/document_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/document_test.cc.o.d"
+  "/root/repo/tests/fd_index_test.cc" "tests/CMakeFiles/rtp_tests.dir/fd_index_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/fd_index_test.cc.o.d"
+  "/root/repo/tests/fd_test.cc" "tests/CMakeFiles/rtp_tests.dir/fd_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/fd_test.cc.o.d"
+  "/root/repo/tests/hardness_test.cc" "tests/CMakeFiles/rtp_tests.dir/hardness_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/hardness_test.cc.o.d"
+  "/root/repo/tests/independence_test.cc" "tests/CMakeFiles/rtp_tests.dir/independence_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/independence_test.cc.o.d"
+  "/root/repo/tests/misc_feature_test.cc" "tests/CMakeFiles/rtp_tests.dir/misc_feature_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/misc_feature_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/rtp_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/rtp_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/pattern_writer_test.cc" "tests/CMakeFiles/rtp_tests.dir/pattern_writer_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/pattern_writer_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/rtp_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/recursive_schema_test.cc" "tests/CMakeFiles/rtp_tests.dir/recursive_schema_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/recursive_schema_test.cc.o.d"
+  "/root/repo/tests/regex_property_test.cc" "tests/CMakeFiles/rtp_tests.dir/regex_property_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/regex_property_test.cc.o.d"
+  "/root/repo/tests/regex_test.cc" "tests/CMakeFiles/rtp_tests.dir/regex_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/regex_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/rtp_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/rtp_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/update_model_test.cc" "tests/CMakeFiles/rtp_tests.dir/update_model_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/update_model_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/rtp_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/view_test.cc" "tests/CMakeFiles/rtp_tests.dir/view_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/view_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/rtp_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/rtp_tests.dir/xpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

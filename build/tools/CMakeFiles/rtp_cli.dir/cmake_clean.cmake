@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_cli.dir/rtp_cli.cc.o"
+  "CMakeFiles/rtp_cli.dir/rtp_cli.cc.o.d"
+  "rtp_cli"
+  "rtp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
