@@ -4,6 +4,9 @@
 #include <deque>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "regex/regex_ast.h"
 
 namespace rtp::automata {
@@ -63,6 +66,8 @@ int64_t HedgeAutomaton::TotalSize() const {
 
 std::vector<std::vector<StateId>> HedgeAutomaton::Run(
     const Document& doc) const {
+  RTP_OBS_COUNT("automata.run.documents");
+  RTP_OBS_SCOPED_TIMER("automata.run.ns");
   std::vector<std::vector<StateId>> assigned(doc.ArenaSize());
 
   // Postorder traversal.
@@ -171,26 +176,38 @@ std::optional<std::vector<StateId>> HedgeAutomaton::AcceptedWordOver(
 
 std::vector<std::optional<HedgeAutomaton::Recipe>> HedgeAutomaton::Saturate()
     const {
+  RTP_OBS_SCOPED_TIMER("automata.emptiness.saturate_ns");
   std::vector<std::optional<Recipe>> recipes(NumStates());
   std::vector<bool> inhabited(NumStates(), false);
+  size_t iterations = 0;
+  size_t num_inhabited = 0;
   bool changed = true;
   while (changed) {
     changed = false;
+    ++iterations;
     for (size_t i = 0; i < transitions_.size(); ++i) {
       const Transition& t = transitions_[i];
       if (inhabited[t.target]) continue;
       auto word = AcceptedWordOver(t.horizontal, inhabited);
       if (!word.has_value()) continue;
       inhabited[t.target] = true;
+      ++num_inhabited;
       recipes[t.target] =
           Recipe{static_cast<int32_t>(i), std::move(*word)};
       changed = true;
     }
   }
+  RTP_OBS_COUNT_N("automata.emptiness.fixpoint_iterations", iterations);
+  RTP_OBS_COUNT_N("automata.emptiness.states_inhabited", num_inhabited);
+  RTP_OBS_COUNT_N("automata.emptiness.states_pruned",
+                  static_cast<size_t>(NumStates()) - num_inhabited);
   return recipes;
 }
 
 bool HedgeAutomaton::IsEmptyLanguage() const {
+  RTP_OBS_COUNT("automata.emptiness.checks");
+  RTP_OBS_SCOPED_TIMER("automata.emptiness.ns");
+  RTP_OBS_TRACE_SPAN("automata.IsEmptyLanguage");
   auto recipes = Saturate();
   std::vector<bool> inhabited(NumStates(), false);
   for (StateId q = 0; q < NumStates(); ++q) {

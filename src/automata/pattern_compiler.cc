@@ -3,6 +3,10 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
 namespace rtp::automata {
 
 using pattern::PatternNodeId;
@@ -168,7 +172,14 @@ class Compiler {
 }  // namespace
 
 HedgeAutomaton CompilePattern(const TreePattern& pattern, MarkMode mode) {
-  return Compiler(pattern, mode).Compile();
+  RTP_OBS_COUNT("automata.compile.patterns");
+  RTP_OBS_SCOPED_TIMER("automata.compile.ns");
+  RTP_OBS_TRACE_SPAN("automata.CompilePattern");
+  HedgeAutomaton automaton = Compiler(pattern, mode).Compile();
+  RTP_OBS_COUNT_N("automata.compile.states_built", automaton.NumStates());
+  RTP_OBS_HISTOGRAM_RECORD("automata.compile.total_size",
+                           automaton.TotalSize());
+  return automaton;
 }
 
 }  // namespace rtp::automata

@@ -3,6 +3,10 @@
 #include <map>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
 namespace rtp::automata {
 
 namespace {
@@ -101,12 +105,16 @@ regex::Dfa ProductHorizontal(const regex::Dfa& ha, const regex::Dfa& hb,
     }
   }
 
+  RTP_OBS_COUNT_N("automata.product.horizontal_states_built", states.size());
   return regex::Dfa::FromStates(std::move(states), initial);
 }
 
 }  // namespace
 
 HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b) {
+  RTP_OBS_COUNT("automata.product.intersections");
+  RTP_OBS_SCOPED_TIMER("automata.product.ns");
+  RTP_OBS_TRACE_SPAN("automata.Intersect");
   int32_t na = a.NumStates();
   int32_t nb = b.NumStates();
   HedgeAutomaton out;
@@ -116,10 +124,14 @@ HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b) {
       RTP_CHECK(q == qa * nb + qb);
     }
   }
+  size_t guard_pruned = 0;
   for (const auto& ta : a.transitions()) {
     for (const auto& tb : b.transitions()) {
       std::optional<Guard> guard = Guard::Intersect(ta.guard, tb.guard);
-      if (!guard.has_value()) continue;
+      if (!guard.has_value()) {
+        ++guard_pruned;
+        continue;
+      }
       regex::Dfa horizontal =
           ProductHorizontal(ta.horizontal, tb.horizontal, na, nb,
                             /*track_met=*/false, false, false, a, b);
@@ -132,10 +144,18 @@ HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b) {
       out.AddRootAccepting(ra * nb + rb);
     }
   }
+  RTP_OBS_COUNT_N("automata.product.states_built", out.NumStates());
+  RTP_OBS_COUNT_N("automata.product.transitions_built",
+                  out.transitions().size());
+  RTP_OBS_COUNT_N("automata.product.guard_pruned", guard_pruned);
+  RTP_OBS_HISTOGRAM_RECORD("automata.product.total_size", out.TotalSize());
   return out;
 }
 
 HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b) {
+  RTP_OBS_COUNT("automata.product.meet_products");
+  RTP_OBS_SCOPED_TIMER("automata.product.ns");
+  RTP_OBS_TRACE_SPAN("automata.MeetProduct");
   int32_t na = a.NumStates();
   int32_t nb = b.NumStates();
   HedgeAutomaton out;
@@ -147,10 +167,14 @@ HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b) {
       }
     }
   }
+  size_t guard_pruned = 0;
   for (const auto& ta : a.transitions()) {
     for (const auto& tb : b.transitions()) {
       std::optional<Guard> guard = Guard::Intersect(ta.guard, tb.guard);
-      if (!guard.has_value()) continue;
+      if (!guard.has_value()) {
+        ++guard_pruned;
+        continue;
+      }
       bool own_mark = a.mark(ta.target) && b.mark(tb.target);
       for (int met = 0; met < 2; ++met) {
         if (own_mark && met == 0) continue;  // unsatisfiable variant
@@ -167,6 +191,11 @@ HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b) {
       out.AddRootAccepting((ra * nb + rb) * 2 + 1);
     }
   }
+  RTP_OBS_COUNT_N("automata.product.states_built", out.NumStates());
+  RTP_OBS_COUNT_N("automata.product.transitions_built",
+                  out.transitions().size());
+  RTP_OBS_COUNT_N("automata.product.guard_pruned", guard_pruned);
+  RTP_OBS_HISTOGRAM_RECORD("automata.product.total_size", out.TotalSize());
   return out;
 }
 

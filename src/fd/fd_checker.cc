@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "common/hashing.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "xml/value_equality.h"
 #include "xml/xml_io.h"
 
@@ -70,6 +73,9 @@ std::string Violation::Describe(const Document& doc,
 
 CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
                     const CheckOptions& options) {
+  RTP_OBS_COUNT("fd.check.calls");
+  RTP_OBS_SCOPED_TIMER("fd.check.ns");
+  RTP_OBS_TRACE_SPAN("fd.CheckFd");
   CheckResult result;
   pattern::MatchTables tables = pattern::MatchTables::Build(fd.pattern(), doc);
   pattern::MappingEnumerator enumerator(tables);
@@ -82,6 +88,7 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
   // Group key hash -> entries (collision bucket).
   std::unordered_map<uint64_t, std::vector<GroupEntry>> groups;
 
+  size_t group_comparisons = 0;
   enumerator.ForEach([&](const Mapping& m) {
     ++result.num_mappings;
     NodeId context_image = m.image[fd.context()];
@@ -100,6 +107,7 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
 
     auto& bucket = groups[key];
     for (GroupEntry& entry : bucket) {
+      ++group_comparisons;
       // Confirm exact group equality (guards against hash collisions).
       if (entry.mapping.image[fd.context()] != context_image) continue;
       bool same_group = true;
@@ -127,6 +135,10 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
     ++result.num_groups;
     return true;
   });
+  RTP_OBS_COUNT_N("fd.check.traces_enumerated", result.num_mappings);
+  RTP_OBS_COUNT_N("fd.check.groups_created", result.num_groups);
+  RTP_OBS_COUNT_N("fd.check.group_comparisons", group_comparisons);
+  if (!result.satisfied) RTP_OBS_COUNT("fd.check.violations");
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/hashing.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "pattern/evaluator.h"
 #include "xml/value_equality.h"
 
@@ -16,6 +18,8 @@ using xml::Document;
 using xml::NodeId;
 
 FdIndex FdIndex::Build(const FunctionalDependency& fd, const Document& doc) {
+  RTP_OBS_COUNT("fd.index.builds");
+  RTP_OBS_SCOPED_TIMER("fd.index.build_ns");
   FdIndex index(fd);
   // A template branch hanging off the root-to-context chain (outside the
   // context subtree) makes updates in unrelated regions able to create or
@@ -38,9 +42,16 @@ void FdIndex::Recompute(const Document& doc,
                         bool restrict_contexts) {
   std::set<NodeId> scope(contexts.begin(), contexts.end());
   if (restrict_contexts) {
-    for (NodeId c : contexts) summaries_.erase(c);
+    size_t summaries_before = summaries_.size();
+    size_t erased = 0;
+    for (NodeId c : contexts) erased += summaries_.erase(c);
+    // Summaries that survive the erase are reused verbatim — the whole
+    // point of the incremental pass.
+    RTP_OBS_COUNT_N("fd.index.reuse_hits", summaries_before - erased);
+    RTP_OBS_COUNT_N("fd.index.contexts_rescanned", contexts.size());
     last_pass_contexts_ = contexts.size();
   } else {
+    RTP_OBS_COUNT("fd.index.full_recomputes");
     summaries_.clear();
     last_pass_contexts_ = 0;
   }
@@ -73,6 +84,7 @@ void FdIndex::Recompute(const Document& doc,
   };
 
   last_pass_mappings_ = 0;
+  RTP_OBS_COUNT("fd.index.passes");
   enumerator.ForEach([&](const Mapping& m) {
     ++last_pass_mappings_;
     NodeId context_image = m.image[context_node];
@@ -88,6 +100,7 @@ void FdIndex::Recompute(const Document& doc,
     }
     return true;
   });
+  RTP_OBS_COUNT_N("fd.index.mappings_enumerated", last_pass_mappings_);
 }
 
 void FdIndex::RefreshVerdict() {
@@ -98,11 +111,15 @@ void FdIndex::RefreshVerdict() {
 
 bool FdIndex::Revalidate(const Document& doc,
                          const std::vector<NodeId>& updated_roots) {
+  RTP_OBS_COUNT("fd.index.revalidations");
+  RTP_OBS_SCOPED_TIMER("fd.index.revalidate_ns");
   if (!supports_incremental_) {
+    RTP_OBS_COUNT("fd.index.fallback_full");
     Recompute(doc, {}, /*restrict_contexts=*/false);
     RefreshVerdict();
     return satisfied_;
   }
+  RTP_OBS_COUNT("fd.index.incremental_passes");
   // Affected contexts: previously-indexed contexts on the root paths of
   // the updated roots or inside the updated regions, plus any current
   // context image in those regions or on those paths (newly created ones).

@@ -4,6 +4,9 @@
 
 #include "automata/pattern_compiler.h"
 #include "automata/product.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "pattern/evaluator.h"
 
 namespace rtp::independence {
@@ -15,31 +18,55 @@ StatusOr<CriterionResult> CheckIndependence(
     const fd::FunctionalDependency& fd, const update::UpdateClass& update,
     const schema::Schema* schema, Alphabet* alphabet,
     const CriterionOptions& options) {
+  RTP_OBS_COUNT("independence.criterion.checks");
+  RTP_OBS_SCOPED_TIMER("independence.criterion.ns");
+  RTP_OBS_TRACE_SPAN("independence.CheckIndependence");
   if (!update.SelectedAreLeaves()) {
     return InvalidArgumentError(
         "the criterion requires every selected node of the update class to "
         "be a leaf of its template (Section 5)");
   }
 
-  HedgeAutomaton fd_automaton =
-      CompilePattern(fd.pattern(), MarkMode::kTraceAndSelectedSubtrees);
-  HedgeAutomaton u_automaton =
-      CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
+  HedgeAutomaton fd_automaton;
+  HedgeAutomaton u_automaton;
+  {
+    RTP_OBS_TRACE_SPAN("independence.compile_patterns");
+    fd_automaton =
+        CompilePattern(fd.pattern(), MarkMode::kTraceAndSelectedSubtrees);
+    u_automaton =
+        CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
+  }
   HedgeAutomaton schema_automaton =
       schema != nullptr ? HedgeAutomaton() : HedgeAutomaton::Universal();
   const HedgeAutomaton& a_s =
       schema != nullptr ? schema->automaton() : schema_automaton;
 
-  HedgeAutomaton meet = automata::MeetProduct(fd_automaton, u_automaton);
-  HedgeAutomaton l_automaton = automata::Intersect(meet, a_s);
+  HedgeAutomaton meet;
+  HedgeAutomaton l_automaton;
+  {
+    RTP_OBS_TRACE_SPAN("independence.build_product");
+    meet = automata::MeetProduct(fd_automaton, u_automaton);
+    l_automaton = automata::Intersect(meet, a_s);
+  }
 
   CriterionResult result;
   result.fd_automaton_size = fd_automaton.TotalSize();
   result.u_automaton_size = u_automaton.TotalSize();
   result.schema_automaton_size = a_s.TotalSize();
   result.product_size = l_automaton.TotalSize();
-  result.independent = l_automaton.IsEmptyLanguage();
+  {
+    RTP_OBS_TRACE_SPAN("independence.emptiness");
+    result.independent = l_automaton.IsEmptyLanguage();
+  }
+  RTP_OBS_HISTOGRAM_RECORD("independence.criterion.product_size",
+                           result.product_size);
+  if (result.independent) {
+    RTP_OBS_COUNT("independence.criterion.independent");
+  } else {
+    RTP_OBS_COUNT("independence.criterion.unknown");
+  }
   if (!result.independent && options.want_conflict_candidate) {
+    RTP_OBS_TRACE_SPAN("independence.witness_synthesis");
     auto witness = l_automaton.FindWitnessDocument(alphabet);
     if (witness.ok()) {
       result.conflict_candidate = std::move(witness).value();
@@ -52,6 +79,8 @@ bool IsInCriterionLanguage(const xml::Document& doc,
                            const fd::FunctionalDependency& fd,
                            const update::UpdateClass& update,
                            const schema::Schema* schema) {
+  RTP_OBS_COUNT("independence.reverify.calls");
+  RTP_OBS_SCOPED_TIMER("independence.reverify.ns");
   if (schema != nullptr && !schema->Validate(doc)) return false;
 
   // Nodes the update class would update.

@@ -4,6 +4,9 @@
 #include <random>
 
 #include "fd/fd_checker.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "update/update_ops.h"
 
 namespace rtp::independence {
@@ -85,6 +88,9 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
                                    const update::UpdateClass& update,
                                    const schema::Schema& schema,
                                    const ImpactSearchParams& params) {
+  RTP_OBS_COUNT("independence.impact_search.calls");
+  RTP_OBS_SCOPED_TIMER("independence.impact_search.ns");
+  RTP_OBS_TRACE_SPAN("independence.SearchForImpact");
   ImpactSearchResult result;
   std::mt19937_64 rng(params.seed);
 
@@ -95,6 +101,7 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
     if (!doc_or.ok()) continue;
     Document doc = std::move(doc_or).value();
     ++result.documents_tried;
+    RTP_OBS_COUNT("independence.impact_search.documents_tried");
 
     if (!fd::CheckFd(fd, doc).satisfied) {
       // Try to repair the document into satisfying fd (and staying valid).
@@ -135,8 +142,10 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
       }
       if (failed || !applied_any) continue;
       ++result.updates_tried;
+      RTP_OBS_COUNT("independence.impact_search.updates_tried");
       if (!schema.Validate(mutated)) continue;  // out of valid(S)
       if (!fd::CheckFd(fd, mutated).satisfied) {
+        RTP_OBS_COUNT("independence.impact_search.impacts_found");
         result.impact_found = true;
         result.witness = ImpactWitness{
             std::move(doc), std::move(mutated),

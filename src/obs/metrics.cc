@@ -1,0 +1,278 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace rtp::obs {
+
+namespace {
+
+int BucketOf(uint64_t sample) {
+  if (sample == 0) return 0;
+  return std::min(64 - std::countl_zero(sample), Histogram::kNumBuckets - 1);
+}
+
+// Midpoint of bucket i's range, for quantile interpolation.
+uint64_t BucketMidpoint(int i) {
+  if (i == 0) return 0;
+  uint64_t lo = uint64_t{1} << (i - 1);
+  return lo + lo / 2;
+}
+
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// JSON string escaping for metric names (names are plain identifiers in
+// practice, but dumps must never emit malformed JSON).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t sample) {
+  buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  AtomicMin(&min_, sample);
+  AtomicMax(&max_, sample);
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~uint64_t{0} ? 0 : m;
+}
+
+double Histogram::mean() const {
+  uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  uint64_t c = count();
+  if (c == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(c - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      // Clamp the interpolated midpoint into the observed range.
+      return std::clamp(BucketMidpoint(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// Registry internals. Metric objects are stored in deques so addresses
+// survive growth; the name maps are guarded by a mutex taken only on
+// registration, lookup, and dump — never on the recording hot path.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_names;
+  std::map<std::string, Gauge*> gauge_names;
+  std::map<std::string, Histogram*> histogram_names;
+
+  // Aborts when `name` is already registered as a different kind.
+  void CheckKind(const std::string& name, const char* kind,
+                 bool is_this_kind) const {
+    if (is_this_kind) return;
+    bool clash = counter_names.count(name) || gauge_names.count(name) ||
+                 histogram_names.count(name);
+    if (clash) {
+      std::fprintf(stderr, "obs: metric '%s' re-registered as %s\n",
+                   name.c_str(), kind);
+      std::abort();
+    }
+  }
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: metrics must outlive every static destructor that
+  // might still record.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+const MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counter_names.find(name);
+  if (it != i->counter_names.end()) return it->second;
+  i->CheckKind(name, "counter", false);
+  i->counters.emplace_back();
+  Counter* c = &i->counters.back();
+  i->counter_names.emplace(name, c);
+  return c;
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauge_names.find(name);
+  if (it != i->gauge_names.end()) return it->second;
+  i->CheckKind(name, "gauge", false);
+  i->gauges.emplace_back();
+  Gauge* g = &i->gauges.back();
+  i->gauge_names.emplace(name, g);
+  return g;
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histogram_names.find(name);
+  if (it != i->histogram_names.end()) return it->second;
+  i->CheckKind(name, "histogram", false);
+  i->histograms.emplace_back();
+  Histogram* h = &i->histograms.back();
+  i->histogram_names.emplace(name, h);
+  return h;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counter_names.find(name);
+  return it == i->counter_names.end() ? nullptr : it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauge_names.find(name);
+  return it == i->gauge_names.end() ? nullptr : it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histogram_names.find(name);
+  return it == i->histogram_names.end() ? nullptr : it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  for (Counter& c : i->counters) c.Reset();
+  for (Gauge& g : i->gauges) g.Reset();
+  for (Histogram& h : i->histograms) h.Reset();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : i->counter_names) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : i->gauge_names) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : i->histogram_names) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
+        << ",\"max\":" << h->max() << ",\"mean\":" << h->mean()
+        << ",\"p50\":" << h->ApproxQuantile(0.5)
+        << ",\"p99\":" << h->ApproxQuantile(0.99) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpText() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  std::ostringstream out;
+  for (const auto& [name, c] : i->counter_names) {
+    out << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : i->gauge_names) {
+    out << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : i->histogram_names) {
+    out << name << ": count=" << h->count() << " sum=" << h->sum()
+        << " min=" << h->min() << " max=" << h->max() << " mean=" << h->mean()
+        << " p50=" << h->ApproxQuantile(0.5)
+        << " p99=" << h->ApproxQuantile(0.99) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtp::obs

@@ -1,0 +1,179 @@
+#ifndef RTP_OBS_METRICS_H_
+#define RTP_OBS_METRICS_H_
+
+// rtp::obs — lightweight process-wide metrics for the pattern / automata /
+// FD / independence pipeline.
+//
+// Design goals, in order:
+//   1. The hot path of an *enabled* metric is a single relaxed atomic add
+//      (no locks, no allocation, no branching beyond the static-init guard
+//      of the call site's cached pointer).
+//   2. Registration is thread-safe and idempotent: the first caller of
+//      Counter("x") creates the metric, later callers get the same object.
+//      Metric objects live for the process lifetime (deque storage, never
+//      reallocated), so cached pointers stay valid forever.
+//   3. Everything is observable as structured data: DumpJson() for
+//      machines, DumpText() for humans.
+//
+// Call-site idiom (the RTP_OBS_* macros below expand to exactly this):
+//
+//   static obs::Counter* c = obs::Registry().FindOrCreateCounter("fd.hits");
+//   c->Add(1);
+//
+// Defining RTP_OBS_DISABLED at compile time turns every macro into a no-op
+// with zero residual cost, for apples-to-apples overhead measurements.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rtp::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written instantaneous value (sizes, levels).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucketed distribution of nonnegative samples (latencies in ns,
+// automaton sizes, ...). Bucket i counts samples in [2^(i-1), 2^i), with
+// bucket 0 counting zeros; the top bucket is open-ended. Recording is a
+// relaxed add into one bucket plus relaxed adds to count/sum and two
+// monotonic min/max CAS loops that almost always succeed immediately.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  // 0 when empty
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const;
+  // Approximate quantile (q in [0,1]) from bucket midpoints.
+  uint64_t ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Process-wide registry of named metrics. Creation takes a mutex; lookups
+// by the call-site caching idiom happen once per call site.
+class MetricsRegistry {
+ public:
+  // The process-wide instance.
+  static MetricsRegistry& Global();
+
+  // Find-or-create. The returned pointer is valid for the process
+  // lifetime. A name maps to exactly one kind; requesting an existing
+  // name as a different kind aborts (programming error).
+  Counter* FindOrCreateCounter(const std::string& name);
+  Gauge* FindOrCreateGauge(const std::string& name);
+  Histogram* FindOrCreateHistogram(const std::string& name);
+
+  // Nullptr when absent (does not create).
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Zeroes every registered metric (the registration set is preserved, so
+  // cached call-site pointers stay valid). Test/bench infrastructure.
+  void ResetAll();
+
+  // Structured exports; metrics appear sorted by name. JSON shape:
+  //   {"counters":{"a.b":1,...},
+  //    "gauges":{"g":2,...},
+  //    "histograms":{"h":{"count":..,"sum":..,"min":..,"max":..,
+  //                       "mean":..,"p50":..,"p99":..},...}}
+  std::string DumpJson() const;
+  std::string DumpText() const;
+
+ private:
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+// Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry& Registry() { return MetricsRegistry::Global(); }
+
+// Process-wide dumps of every registered metric.
+inline std::string DumpJson() { return Registry().DumpJson(); }
+inline std::string DumpText() { return Registry().DumpText(); }
+
+}  // namespace rtp::obs
+
+// Call-site macros. Each caches the metric pointer in a function-local
+// static, so steady state is one relaxed atomic add per event.
+#ifndef RTP_OBS_DISABLED
+
+#define RTP_OBS_COUNT(name) RTP_OBS_COUNT_N(name, 1)
+
+#define RTP_OBS_COUNT_N(name, n)                                      \
+  do {                                                                \
+    static ::rtp::obs::Counter* rtp_obs_counter_ =                    \
+        ::rtp::obs::Registry().FindOrCreateCounter(name);             \
+    rtp_obs_counter_->Add(static_cast<uint64_t>(n));                  \
+  } while (false)
+
+#define RTP_OBS_GAUGE_SET(name, v)                                    \
+  do {                                                                \
+    static ::rtp::obs::Gauge* rtp_obs_gauge_ =                        \
+        ::rtp::obs::Registry().FindOrCreateGauge(name);               \
+    rtp_obs_gauge_->Set(static_cast<int64_t>(v));                     \
+  } while (false)
+
+#define RTP_OBS_HISTOGRAM_RECORD(name, sample)                        \
+  do {                                                                \
+    static ::rtp::obs::Histogram* rtp_obs_histogram_ =                \
+        ::rtp::obs::Registry().FindOrCreateHistogram(name);           \
+    rtp_obs_histogram_->Record(static_cast<uint64_t>(sample));        \
+  } while (false)
+
+#else  // RTP_OBS_DISABLED
+
+#define RTP_OBS_COUNT(name) \
+  do {                      \
+  } while (false)
+#define RTP_OBS_COUNT_N(name, n) \
+  do {                           \
+    (void)(n);                   \
+  } while (false)
+#define RTP_OBS_GAUGE_SET(name, v) \
+  do {                             \
+    (void)(v);                     \
+  } while (false)
+#define RTP_OBS_HISTOGRAM_RECORD(name, sample) \
+  do {                                         \
+    (void)(sample);                            \
+  } while (false)
+
+#endif  // RTP_OBS_DISABLED
+
+#endif  // RTP_OBS_METRICS_H_

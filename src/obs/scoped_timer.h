@@ -1,0 +1,60 @@
+#ifndef RTP_OBS_SCOPED_TIMER_H_
+#define RTP_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rtp::obs {
+
+// RAII latency recorder: on destruction, records the elapsed wall time in
+// nanoseconds into `histogram`. Timers nest freely — each records its own
+// span independently, so an outer "fd.check.ns" naturally includes the
+// inner "pattern.eval.build_ns" it wraps.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(static_cast<uint64_t>(ElapsedNs()));
+  }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  // Detaches the timer: nothing is recorded at destruction.
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rtp::obs
+
+// Times the enclosing scope into histogram `name` (ns).
+#define RTP_OBS_TIMER_CONCAT_INNER_(a, b) a##b
+#define RTP_OBS_TIMER_CONCAT_(a, b) RTP_OBS_TIMER_CONCAT_INNER_(a, b)
+#ifndef RTP_OBS_DISABLED
+#define RTP_OBS_SCOPED_TIMER(name)                                    \
+  static ::rtp::obs::Histogram* RTP_OBS_TIMER_CONCAT_(                \
+      rtp_obs_timer_hist_, __LINE__) =                                \
+      ::rtp::obs::Registry().FindOrCreateHistogram(name);             \
+  ::rtp::obs::ScopedTimer RTP_OBS_TIMER_CONCAT_(rtp_obs_timer_,       \
+                                                __LINE__)(            \
+      RTP_OBS_TIMER_CONCAT_(rtp_obs_timer_hist_, __LINE__))
+#else
+#define RTP_OBS_SCOPED_TIMER(name) \
+  do {                             \
+  } while (false)
+#endif
+
+#endif  // RTP_OBS_SCOPED_TIMER_H_

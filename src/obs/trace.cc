@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace rtp::obs {
+
+namespace {
+
+// The active session. Relaxed is sufficient: Start()/Stop() are program
+// phase changes, and spans recorded concurrently with Stop() are either
+// fully recorded (under the session mutex) or dropped.
+std::atomic<TraceSession*> g_active{nullptr};
+
+// Per-thread nesting depth, for indentation in exports.
+thread_local int t_depth = 0;
+
+uint64_t ThreadIdHash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
+}
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimal JSON string escaping; span names are call-site literals, so only
+// the characters a reasonable literal could contain need handling.
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (const char* p = s; *p; ++p) {
+    switch (*p) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += *p;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSession::~TraceSession() {
+  if (active()) Stop();
+}
+
+void TraceSession::Start() {
+  start_ns_ = MonotonicNowNs();
+  TraceSession* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_relaxed)) {
+    std::fprintf(stderr, "obs: a TraceSession is already active\n");
+    std::abort();
+  }
+}
+
+void TraceSession::Stop() {
+  TraceSession* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_relaxed);
+}
+
+bool TraceSession::active() const {
+  return g_active.load(std::memory_order_relaxed) == this;
+}
+
+TraceSession* TraceSession::Active() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceSession::NowUs() const {
+  return static_cast<uint64_t>((MonotonicNowNs() - start_ns_) / 1000);
+}
+
+void TraceSession::Record(const char* name, uint64_t start_us,
+                          uint64_t dur_us, int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{name, start_us, dur_us, ThreadIdHash(), depth});
+}
+
+size_t TraceSession::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceSession::Span> TraceSession::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceSession::ExportChromeTracing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (i) out << ",";
+    out << "\n{\"name\":\"" << EscapeJson(s.name) << "\",\"ph\":\"X\",\"ts\":"
+        << s.start_us << ",\"dur\":" << s.dur_us
+        << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"depth\":"
+        << s.depth << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : session_(TraceSession::Active()), name_(name) {
+  if (session_ == nullptr) return;
+  start_us_ = session_->NowUs();
+  depth_ = t_depth++;
+}
+
+TraceSpan::~TraceSpan() {
+  if (session_ == nullptr) return;
+  --t_depth;
+  // The session may have been stopped while the span was open; records
+  // after Stop() are still safe (the object outlives its active window at
+  // every RTP_OBS_TRACE_SPAN site by construction of the CLI / tests).
+  session_->Record(name_, start_us_, session_->NowUs() - start_us_, depth_);
+}
+
+}  // namespace rtp::obs

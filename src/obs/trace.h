@@ -1,0 +1,102 @@
+#ifndef RTP_OBS_TRACE_H_
+#define RTP_OBS_TRACE_H_
+
+// Scoped phase tracing with chrome://tracing export.
+//
+// A TraceSession records nested phase spans ("compile fd automaton",
+// "product", "emptiness", ...) while installed as the process-wide active
+// session. When no session is active, span construction is a single
+// relaxed atomic load and a branch — instrumentation can stay in
+// production code.
+//
+//   obs::TraceSession session;
+//   session.Start();
+//   ...run the pipeline (RTP_OBS_TRACE_SPAN sites record into it)...
+//   session.Stop();
+//   std::string json = session.ExportChromeTracing();
+//
+// The export is a JSON array of complete ("ph":"X") events, loadable by
+// chrome://tracing or Perfetto.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rtp::obs {
+
+class TraceSession {
+ public:
+  struct Span {
+    const char* name;    // static string from the call site
+    uint64_t start_us;   // microseconds since session start
+    uint64_t dur_us;
+    uint64_t tid;        // hashed thread id
+    int depth;           // nesting depth at record time
+  };
+
+  TraceSession() = default;
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Installs this session as the process-wide active one. At most one
+  // session may be active at a time; starting a second aborts.
+  void Start();
+  // Uninstalls; spans recorded so far remain available for export.
+  void Stop();
+  bool active() const;
+
+  // The active session, or nullptr.
+  static TraceSession* Active();
+
+  size_t NumSpans() const;
+  std::vector<Span> spans() const;
+
+  // chrome://tracing "complete event" JSON array.
+  std::string ExportChromeTracing() const;
+
+ private:
+  friend class TraceSpan;
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us,
+              int depth);
+  uint64_t NowUs() const;
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  int64_t start_ns_ = 0;
+};
+
+// RAII span: records [construction, destruction) into the active session,
+// if any. `name` must be a string literal (stored by pointer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSession* session_;  // nullptr when inactive at construction
+  const char* name_;
+  uint64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace rtp::obs
+
+#ifndef RTP_OBS_DISABLED
+#define RTP_OBS_TRACE_CONCAT_INNER_(a, b) a##b
+#define RTP_OBS_TRACE_CONCAT_(a, b) RTP_OBS_TRACE_CONCAT_INNER_(a, b)
+#define RTP_OBS_TRACE_SPAN(name) \
+  ::rtp::obs::TraceSpan RTP_OBS_TRACE_CONCAT_(rtp_obs_span_, __LINE__)(name)
+#else
+#define RTP_OBS_TRACE_SPAN(name) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // RTP_OBS_TRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace rtp::pattern {
 
 using xml::Document;
@@ -11,6 +14,8 @@ using xml::NodeId;
 
 MatchTables MatchTables::Build(const TreePattern& pattern,
                                const Document& doc) {
+  RTP_OBS_COUNT("pattern.eval.tables_built");
+  RTP_OBS_SCOPED_TIMER("pattern.eval.tables_build_ns");
   MatchTables t;
   t.pattern_ = &pattern;
   t.doc_ = &doc;
@@ -97,7 +102,13 @@ MatchTables MatchTables::Build(const TreePattern& pattern,
 
 size_t MappingEnumerator::ForEach(const Callback& fn) {
   visited_ = 0;
-  if (!tables_.HasTrace()) return 0;
+  assignments_tried_ = 0;
+  assignments_filtered_ = 0;
+  RTP_OBS_COUNT("pattern.eval.enumerations");
+  if (!tables_.HasTrace()) {
+    RTP_OBS_COUNT("pattern.eval.no_trace");
+    return 0;
+  }
   if (assign_filter_ &&
       !assign_filter_(TreePattern::kRoot, tables_.doc().root())) {
     return 0;
@@ -108,6 +119,9 @@ size_t MappingEnumerator::ForEach(const Callback& fn) {
   tasks_.clear();
   tasks_.emplace_back(TreePattern::kRoot, tables_.doc().root());
   ExpandTasks(0);
+  RTP_OBS_COUNT_N("pattern.eval.mappings_visited", visited_);
+  RTP_OBS_COUNT_N("pattern.eval.assignments_tried", assignments_tried_);
+  RTP_OBS_COUNT_N("pattern.eval.assignments_filtered", assignments_filtered_);
   return visited_;
 }
 
@@ -143,7 +157,9 @@ bool MappingEnumerator::ChooseEdge(PatternNodeId w, NodeId v,
     if (!tables_.Delivers(c, target, init)) continue;
     NodeId next_from = doc.next_sibling(c);
     bool keep_going = ForEachEndpoint(c, target, init, [&](NodeId endpoint) {
+      ++assignments_tried_;
       if (assign_filter_ && !assign_filter_(target, endpoint)) {
+        ++assignments_filtered_;
         return true;  // skip this assignment, keep enumerating others
       }
       current_.image[target] = endpoint;
@@ -183,15 +199,22 @@ std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
   MappingEnumerator enumerator(tables);
   std::vector<std::vector<NodeId>> result;
   std::set<std::vector<NodeId>> seen;
+  size_t duplicates = 0;
   enumerator.ForEach([&](const Mapping& m) {
     std::vector<NodeId> tuple;
     tuple.reserve(pattern.selected().size());
     for (const SelectedNode& s : pattern.selected()) {
       tuple.push_back(m.image[s.node]);
     }
-    if (seen.insert(tuple).second) result.push_back(std::move(tuple));
+    if (seen.insert(tuple).second) {
+      result.push_back(std::move(tuple));
+    } else {
+      ++duplicates;
+    }
     return true;
   });
+  RTP_OBS_COUNT_N("pattern.eval.tuples_selected", result.size());
+  RTP_OBS_COUNT_N("pattern.eval.duplicate_tuples", duplicates);
   return result;
 }
 

@@ -113,6 +113,10 @@ class MappingEnumerator {
   Mapping current_;
   std::vector<std::pair<PatternNodeId, xml::NodeId>> tasks_;
   size_t visited_ = 0;
+  // Per-ForEach work tallies, flushed to obs counters in one batch so the
+  // enumeration recursion never touches an atomic.
+  size_t assignments_tried_ = 0;
+  size_t assignments_filtered_ = 0;
 };
 
 // Identification phase (a) of evaluation: the distinct tuples of document

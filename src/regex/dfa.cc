@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/hashing.h"
+#include "obs/metrics.h"
 
 namespace rtp::regex {
 
@@ -80,6 +81,10 @@ Dfa Dfa::FromNfa(const Nfa& nfa) {
       }
     }
   }
+  RTP_OBS_COUNT("regex.dfa.determinizations");
+  RTP_OBS_COUNT_N("regex.dfa.states_built", dfa.states_.size());
+  RTP_OBS_HISTOGRAM_RECORD("regex.determinize.blowup_states",
+                           dfa.states_.size());
   return dfa.Trim();
 }
 
@@ -300,6 +305,7 @@ Dfa Dfa::Trim() const {
 }
 
 Dfa Dfa::Minimize() const {
+  RTP_OBS_COUNT("regex.dfa.minimizations");
   Dfa trimmed = Trim();
   int32_t n = trimmed.NumStates();
   if (n == 0) return trimmed;
@@ -338,6 +344,7 @@ Dfa Dfa::Minimize() const {
   }
 
   int32_t num_classes = *std::max_element(cls.begin(), cls.end()) + 1;
+  RTP_OBS_COUNT_N("regex.minimize.states_removed", n - num_classes);
   Dfa out;
   out.states_.resize(num_classes);
   out.initial_ = cls[trimmed.initial_];

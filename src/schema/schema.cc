@@ -118,9 +118,18 @@ class SchemaParser {
     return pos_ >= input_.size();
   }
   void SkipSpace() {
-    while (pos_ < input_.size() &&
-           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
-      ++pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' && input_.substr(pos_, 5) != "#text") {
+        // '#' starts a line comment, as in the pattern DSL ('#text' is the
+        // reserved text label; it never appears between declarations, but
+        // keep the lexers' rules identical).
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
     }
   }
   bool Eat(char c) {

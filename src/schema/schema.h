@@ -8,6 +8,7 @@
 
 #include "automata/hedge_automaton.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "regex/regex.h"
 #include "xml/document.h"
 
@@ -49,6 +50,7 @@ class Schema {
   const automata::HedgeAutomaton& automaton() const { return automaton_; }
 
   bool Validate(const xml::Document& doc) const {
+    RTP_OBS_COUNT("schema.validations");
     return automaton_.Accepts(doc);
   }
 

@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace rtp::xml {
 
 namespace {
@@ -234,8 +237,12 @@ void WriteElement(const Document& doc, NodeId n, bool indent, int depth,
 }  // namespace
 
 StatusOr<Document> ParseXml(Alphabet* alphabet, std::string_view input) {
+  RTP_OBS_COUNT("xml.parse.documents");
+  RTP_OBS_SCOPED_TIMER("xml.parse.ns");
   Parser parser(alphabet, input);
-  return parser.Parse();
+  StatusOr<Document> doc = parser.Parse();
+  if (doc.ok()) RTP_OBS_COUNT_N("xml.parse.nodes", doc->LiveNodeCount());
+  return doc;
 }
 
 std::string WriteXmlSubtree(const Document& doc, NodeId n, bool indent) {

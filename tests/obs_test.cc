@@ -1,0 +1,282 @@
+// Tests for the rtp::obs metrics / tracing subsystem.
+//
+// The registry is process-global and shared with every other test in this
+// binary (the pipeline registers its own metrics as a side effect), so all
+// metrics created here use an "obstest." prefix and assertions never assume
+// the registry contains *only* what this file created.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
+namespace rtp::obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter* c = Registry().FindOrCreateCounter("obstest.counter.basic");
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(CounterTest, FindOrCreateIsIdempotent) {
+  Counter* a = Registry().FindOrCreateCounter("obstest.counter.same");
+  Counter* b = Registry().FindOrCreateCounter("obstest.counter.same");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, FindDoesNotCreate) {
+  EXPECT_EQ(Registry().FindCounter("obstest.counter.never-created"), nullptr);
+  Registry().FindOrCreateCounter("obstest.counter.created");
+  EXPECT_NE(Registry().FindCounter("obstest.counter.created"), nullptr);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter* c = Registry().FindOrCreateCounter("obstest.counter.concurrent");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge* g = Registry().FindOrCreateGauge("obstest.gauge.basic");
+  g->Set(10);
+  EXPECT_EQ(g->value(), 10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(-5);
+  EXPECT_EQ(g->value(), -5);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.basic");
+  h->Reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->min(), 0u);  // empty histogram reports 0
+  h->Record(10);
+  h->Record(20);
+  h->Record(30);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 60u);
+  EXPECT_EQ(h->min(), 10u);
+  EXPECT_EQ(h->max(), 30u);
+  EXPECT_DOUBLE_EQ(h->mean(), 20.0);
+}
+
+TEST(HistogramTest, BucketPlacement) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.buckets");
+  h->Reset();
+  h->Record(0);  // bucket 0 counts zeros
+  h->Record(1);  // [1,2) -> bucket 1
+  h->Record(2);  // [2,4) -> bucket 2
+  h->Record(3);
+  h->Record(1024);  // [1024,2048) -> bucket 11
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(11), 1u);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.quantiles");
+  h->Reset();
+  for (uint64_t v = 1; v <= 1000; ++v) h->Record(v);
+  uint64_t p50 = h->ApproxQuantile(0.5);
+  uint64_t p99 = h->ApproxQuantile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(p50, 0u);
+  // Log2 buckets are coarse; just require the right order of magnitude.
+  EXPECT_LE(p99, 2048u);
+  EXPECT_GE(p99, 256u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.concurrent");
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(t) * kPerThread + i + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->min(), 1u);
+  EXPECT_EQ(h->max(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedIntoHistogram) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.timer.record");
+  h->Reset();
+  {
+    ScopedTimer timer(h);
+    // Burn a little time so elapsed > 0 even at coarse clock resolution.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+  }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GT(h->sum(), 0u);
+}
+
+TEST(ScopedTimerTest, CancelSuppressesRecording) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.timer.cancel");
+  h->Reset();
+  {
+    ScopedTimer timer(h);
+    timer.Cancel();
+  }
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(ScopedTimerTest, NestedTimersEachRecordTheirOwnSpan) {
+  Histogram* outer = Registry().FindOrCreateHistogram("obstest.timer.outer");
+  Histogram* inner = Registry().FindOrCreateHistogram("obstest.timer.inner");
+  outer->Reset();
+  inner->Reset();
+  {
+    ScopedTimer t_outer(outer);
+    {
+      ScopedTimer t_inner(inner);
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 10000; ++i) sink += i;
+    }
+  }
+  ASSERT_EQ(outer->count(), 1u);
+  ASSERT_EQ(inner->count(), 1u);
+  // The outer span strictly contains the inner one.
+  EXPECT_GE(outer->sum(), inner->sum());
+}
+
+TEST(DumpTest, JsonHasStableShapeAndSortedKeys) {
+  Registry().FindOrCreateCounter("obstest.zz.counter")->Reset();
+  Registry().FindOrCreateCounter("obstest.aa.counter")->Reset();
+  Registry().FindOrCreateCounter("obstest.aa.counter")->Add(7);
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.zz.hist");
+  h->Reset();
+  h->Record(5);
+
+  std::string json = DumpJson();
+  // Top-level sections, in order.
+  size_t counters_pos = json.find("\"counters\":{");
+  size_t gauges_pos = json.find("\"gauges\":{");
+  size_t histograms_pos = json.find("\"histograms\":{");
+  ASSERT_NE(counters_pos, std::string::npos);
+  ASSERT_NE(gauges_pos, std::string::npos);
+  ASSERT_NE(histograms_pos, std::string::npos);
+  EXPECT_LT(counters_pos, gauges_pos);
+  EXPECT_LT(gauges_pos, histograms_pos);
+
+  // Counter values are emitted as bare integers, sorted by name.
+  size_t aa = json.find("\"obstest.aa.counter\":7");
+  size_t zz = json.find("\"obstest.zz.counter\":0");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+
+  // Histogram entries carry the full summary shape.
+  size_t hist = json.find("\"obstest.zz.hist\":{");
+  ASSERT_NE(hist, std::string::npos);
+  for (const char* key :
+       {"\"count\":", "\"sum\":", "\"min\":", "\"max\":", "\"mean\":",
+        "\"p50\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key, hist), std::string::npos) << key;
+  }
+
+  // Dumping twice with no metric activity in between is byte-identical.
+  EXPECT_EQ(json, DumpJson());
+
+  // Text dump mentions the same metrics.
+  std::string text = DumpText();
+  EXPECT_NE(text.find("obstest.aa.counter"), std::string::npos);
+  EXPECT_NE(text.find("obstest.zz.hist"), std::string::npos);
+}
+
+TEST(TraceTest, InactiveByDefaultAndSpansAreFree) {
+  ASSERT_EQ(TraceSession::Active(), nullptr);
+  // Constructing a span with no active session is a no-op.
+  { RTP_OBS_TRACE_SPAN("obstest.noop"); }
+  EXPECT_EQ(TraceSession::Active(), nullptr);
+}
+
+TEST(TraceTest, RecordsNestedSpansWithDepth) {
+  TraceSession session;
+  session.Start();
+  ASSERT_EQ(TraceSession::Active(), &session);
+  {
+    TraceSpan outer("obstest.outer");
+    {
+      TraceSpan inner("obstest.inner");
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 1000; ++i) sink += i;
+    }
+  }
+  session.Stop();
+  EXPECT_EQ(TraceSession::Active(), nullptr);
+
+  std::vector<TraceSession::Span> spans = session.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans are recorded at destruction, so the inner span lands first.
+  EXPECT_STREQ(spans[0].name, "obstest.inner");
+  EXPECT_STREQ(spans[1].name, "obstest.outer");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].depth, 0);
+  // The outer span contains the inner one.
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+  EXPECT_GE(spans[1].start_us + spans[1].dur_us,
+            spans[0].start_us + spans[0].dur_us);
+}
+
+TEST(TraceTest, SpansStartedAfterStopAreDropped) {
+  TraceSession session;
+  session.Start();
+  session.Stop();
+  { TraceSpan span("obstest.after-stop"); }
+  EXPECT_EQ(session.NumSpans(), 0u);
+}
+
+TEST(TraceTest, ChromeTracingExportShape) {
+  TraceSession session;
+  session.Start();
+  {
+    TraceSpan span("obstest.export \"quoted\"");
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }
+  session.Stop();
+
+  std::string json = session.ExportChromeTracing();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.rfind(']'), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":0}"), std::string::npos);
+  // Quotes in span names are escaped.
+  EXPECT_NE(json.find("obstest.export \\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtp::obs

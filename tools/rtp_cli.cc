@@ -1,25 +1,37 @@
 // rtp_cli — command-line front end for the library.
 //
-//   rtp_cli validate    <schema-file> <xml-file>
-//   rtp_cli checkfd     <fd-file> <xml-file>
-//   rtp_cli eval        <pattern-file> <xml-file>
-//   rtp_cli xpath       <query> <xml-file>
-//   rtp_cli independent <fd-file> <update-pattern-file> [schema-file]
-//   rtp_cli materialize <view-pattern-file> <xml-file>
+//   rtp_cli [global flags] validate    <schema-file> <xml-file>
+//   rtp_cli [global flags] checkfd     <fd-file> <xml-file>
+//   rtp_cli [global flags] eval        <pattern-file> <xml-file>
+//   rtp_cli [global flags] xpath       <query> <xml-file>
+//   rtp_cli [global flags] independent <fd-file> <update-pattern-file>
+//                                      [schema-file]
+//   rtp_cli [global flags] materialize <view-pattern-file> <xml-file>
+//
+// Global flags (accepted anywhere on the command line, any subcommand):
+//   --stats[=<file>]     after the command runs, dump the obs metrics
+//                        registry as JSON to <file> (or stderr).
+//   --trace-out=<file>   record phase spans and write chrome://tracing
+//                        JSON to <file>.
 //
 // Pattern/FD files use the DSL of pattern_parser.h; schema files the DSL
 // of schema.h. Exit code 0 means "holds" (valid / satisfied / independent),
-// 1 means the negative verdict, 2 a usage or input error.
+// 1 means the negative verdict, 2 a usage or input error. Input errors
+// print the full status detail (code name + message) on stderr.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "fd/fd_checker.h"
 #include "independence/criterion.h"
 #include "automata/pattern_compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/dot_export.h"
 #include "pattern/evaluator.h"
 #include "pattern/pattern_parser.h"
@@ -33,16 +45,22 @@ namespace {
 
 using namespace rtp;
 
-int Usage() {
+int Usage(const char* detail = nullptr) {
+  if (detail != nullptr) std::fprintf(stderr, "error: %s\n", detail);
   std::fprintf(stderr,
-               "usage: rtp_cli validate    <schema-file> <xml-file>\n"
-               "       rtp_cli checkfd     <fd-file> <xml-file>\n"
-               "       rtp_cli eval        <pattern-file> <xml-file>\n"
-               "       rtp_cli xpath       <query> <xml-file>\n"
-               "       rtp_cli independent <fd-file> <update-file> "
+               "usage: rtp_cli [flags] validate    <schema-file> <xml-file>\n"
+               "       rtp_cli [flags] checkfd     <fd-file> <xml-file>\n"
+               "       rtp_cli [flags] eval        <pattern-file> <xml-file>\n"
+               "       rtp_cli [flags] xpath       <query> <xml-file>\n"
+               "       rtp_cli [flags] independent <fd-file> <update-file> "
                "[schema-file]\n"
-               "       rtp_cli materialize <view-file> <xml-file>\n"
-               "       rtp_cli dot         pattern|automaton <pattern-file>\n");
+               "       rtp_cli [flags] materialize <view-file> <xml-file>\n"
+               "       rtp_cli [flags] dot         pattern|automaton "
+               "<pattern-file>\n"
+               "flags: --stats[=<file>]   dump obs metrics JSON after the "
+               "command\n"
+               "       --trace-out=<file> write chrome://tracing phase "
+               "spans\n");
   return 2;
 }
 
@@ -176,7 +194,12 @@ int CmdDot(Alphabet* alphabet, const std::string& what,
     std::printf("%s", automata::AutomatonToDot(automaton, *alphabet).c_str());
     return 0;
   }
-  std::fprintf(stderr, "error: dot target must be 'pattern' or 'automaton'\n");
+  std::fprintf(stderr, "error: %s\n",
+               InvalidArgumentError("dot target must be 'pattern' or "
+                                    "'automaton', got '" +
+                                    what + "'")
+                   .ToString()
+                   .c_str());
   return 2;
 }
 
@@ -192,33 +215,105 @@ int CmdMaterialize(Alphabet* alphabet, const std::string& view_path,
   return 0;
 }
 
+// Global observability options extracted from argv.
+struct ObsOptions {
+  bool stats = false;
+  std::string stats_file;  // empty: stderr
+  std::string trace_file;  // empty: tracing off
+};
+
+// Writes `content` to `path`, or to `fallback` when path is empty.
+bool WriteOutput(const std::string& path, const std::string& content,
+                 std::FILE* fallback) {
+  if (path.empty()) {
+    std::fprintf(fallback, "%s\n", content.c_str());
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content << "\n";
+  return true;
+}
+
+int Dispatch(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+  size_t argc = args.size();
+  Alphabet alphabet;
+  if (cmd == "validate" && argc == 3) {
+    return CmdValidate(&alphabet, args[1], args[2]);
+  }
+  if (cmd == "checkfd" && argc == 3) {
+    return CmdCheckFd(&alphabet, args[1], args[2]);
+  }
+  if (cmd == "eval" && argc == 3) {
+    return CmdEval(&alphabet, args[1], args[2]);
+  }
+  if (cmd == "xpath" && argc == 3) {
+    return CmdXPath(&alphabet, args[1], args[2]);
+  }
+  if (cmd == "independent" && (argc == 3 || argc == 4)) {
+    return CmdIndependent(&alphabet, args[1], args[2],
+                          argc == 4 ? args[3] : "");
+  }
+  if (cmd == "materialize" && argc == 3) {
+    return CmdMaterialize(&alphabet, args[1], args[2]);
+  }
+  if (cmd == "dot" && argc == 3) {
+    return CmdDot(&alphabet, args[1], args[2]);
+  }
+  bool known = cmd == "validate" || cmd == "checkfd" || cmd == "eval" ||
+               cmd == "xpath" || cmd == "independent" ||
+               cmd == "materialize" || cmd == "dot";
+  std::string detail = known
+                           ? "wrong number of arguments for '" + cmd + "'"
+                           : "unknown command '" + cmd + "'";
+  return Usage(detail.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  Alphabet alphabet;
-  if (cmd == "validate" && argc == 4) {
-    return CmdValidate(&alphabet, argv[2], argv[3]);
+  ObsOptions obs_options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--stats") {
+      obs_options.stats = true;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      obs_options.stats = true;
+      obs_options.stats_file = arg.substr(std::strlen("--stats="));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      obs_options.trace_file = arg.substr(std::strlen("--trace-out="));
+      if (obs_options.trace_file.empty()) {
+        return Usage("--trace-out requires a file path");
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage(("unknown flag '" + std::string(arg) + "'").c_str());
+    } else {
+      args.emplace_back(arg);
+    }
   }
-  if (cmd == "checkfd" && argc == 4) {
-    return CmdCheckFd(&alphabet, argv[2], argv[3]);
+
+  obs::TraceSession trace_session;
+  if (!obs_options.trace_file.empty()) trace_session.Start();
+
+  int exit_code = Dispatch(args);
+
+  if (!obs_options.trace_file.empty()) {
+    trace_session.Stop();
+    if (!WriteOutput(obs_options.trace_file,
+                     trace_session.ExportChromeTracing(), stderr)) {
+      exit_code = exit_code == 0 ? 2 : exit_code;
+    }
   }
-  if (cmd == "eval" && argc == 4) {
-    return CmdEval(&alphabet, argv[2], argv[3]);
+  if (obs_options.stats) {
+    if (!WriteOutput(obs_options.stats_file, obs::DumpJson(), stderr)) {
+      exit_code = exit_code == 0 ? 2 : exit_code;
+    }
   }
-  if (cmd == "xpath" && argc == 4) {
-    return CmdXPath(&alphabet, argv[2], argv[3]);
-  }
-  if (cmd == "independent" && (argc == 4 || argc == 5)) {
-    return CmdIndependent(&alphabet, argv[2], argv[3],
-                          argc == 5 ? argv[4] : "");
-  }
-  if (cmd == "materialize" && argc == 4) {
-    return CmdMaterialize(&alphabet, argv[2], argv[3]);
-  }
-  if (cmd == "dot" && argc == 4) {
-    return CmdDot(&alphabet, argv[2], argv[3]);
-  }
-  return Usage();
+  return exit_code;
 }
