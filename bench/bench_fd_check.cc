@@ -71,6 +71,34 @@ void BM_CheckFd1Violating(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckFd1Violating)->Range(64, 16384)->Complexity();
 
+// Batch checking across documents (one per corpus member, distinct seeds),
+// swept over jobs: the fleet-of-documents scenario CheckFdBatch
+// parallelizes. Results are identical for every jobs value; on a
+// single-core host the sweep only measures pool overhead.
+void BM_CheckFd1BatchJobs(benchmark::State& state) {
+  Alphabet alphabet;
+  fd::FunctionalDependency fd1 = MustFd(workload::PaperFd1(&alphabet));
+  std::vector<xml::Document> docs;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    docs.push_back(MakeExamDocument(&alphabet, /*candidates=*/256, seed));
+  }
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& doc : docs) ptrs.push_back(&doc);
+  fd::BatchCheckOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  size_t satisfied = 0;
+  for (auto _ : state) {
+    std::vector<fd::CheckResult> results = fd::CheckFdBatch(fd1, ptrs, options);
+    satisfied = 0;
+    for (const auto& r : results) satisfied += r.satisfied ? 1 : 0;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(options.jobs);
+  state.counters["docs"] = static_cast<double>(docs.size());
+  state.counters["satisfied"] = static_cast<double>(satisfied);
+}
+BENCHMARK(BM_CheckFd1BatchJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 // Exams-per-candidate sweep for the quadratic fd3.
 void BM_CheckFd3ExamFanout(benchmark::State& state) {
   Alphabet alphabet;

@@ -1,0 +1,120 @@
+#ifndef RTP_EXEC_THREAD_POOL_H_
+#define RTP_EXEC_THREAD_POOL_H_
+
+// rtp::exec — parallel execution engine for the batch-shaped workloads of
+// the pipeline: the independence matrix (one criterion check per
+// (fd, update-class) pair), batch FD verification across documents, and
+// multi-document pattern evaluation.
+//
+// Design:
+//   * ThreadPool owns N worker threads, each with its own deque of tasks.
+//     Submissions are distributed round-robin over the worker deques; a
+//     worker pops its own deque LIFO (cache locality) and, when empty,
+//     steals the oldest task from a sibling's deque (FIFO steal — the
+//     classic work-stealing discipline).
+//   * The total number of queued-but-unstarted tasks is bounded
+//     (`queue_capacity`); Submit from a non-worker thread blocks until
+//     space frees up (backpressure instead of unbounded memory growth).
+//     Submit from a worker thread never blocks (it would deadlock the
+//     pool) — worker submissions bypass the bound.
+//   * Shutdown is graceful: the destructor drains every queued task, then
+//     joins the workers. A task that throws never wedges the pool — the
+//     exception is counted (`exec.pool.task_exceptions`) and, for tasks
+//     run through ParallelFor, captured and rethrown to the caller.
+//
+// Observability (see docs/PARALLELISM.md for the catalog):
+//   counters exec.pool.tasks_submitted / .tasks_executed / .steals /
+//            .task_exceptions / .parallel_for.calls
+//   gauges   exec.pool.threads, exec.pool.queue_depth
+//
+// Determinism contract: the pool schedules tasks in an unspecified order.
+// Every parallel algorithm built on top of it (matrix, CheckFdBatch,
+// EvaluateSelectedBatch) writes results into per-task slots fixed before
+// submission, so results are bit-identical for any job count — including
+// jobs=1, which runs tasks inline on the calling thread without touching
+// the pool at all.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtp::exec {
+
+class ThreadPool {
+ public:
+  // A reasonable default for --jobs=0: the hardware concurrency (at least
+  // 1; std::thread::hardware_concurrency may report 0).
+  static int DefaultJobs();
+
+  // Creates `num_threads` workers (clamped to >= 1). `queue_capacity`
+  // bounds the queued-but-unstarted tasks seen by non-worker submitters.
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 4096);
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Exceptions escaping `task` are caught and counted;
+  // they never terminate a worker. Blocks when the queue bound is reached
+  // (unless called from one of this pool's workers).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has been executed.
+  void Drain();
+
+  // Lifetime counters for tests / introspection.
+  uint64_t tasks_executed() const;
+  uint64_t steals() const;
+
+ private:
+  struct Shard {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  // Pops a task: own deque back (LIFO), then steal shard front (FIFO).
+  bool TryPop(size_t worker_index, std::function<void()>* task,
+              bool* stolen);
+  void RunTask(std::function<void()>* task);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;   // workers sleep here
+  std::condition_variable space_available_;  // bounded Submit sleeps here
+  std::condition_variable idle_;             // Drain sleeps here
+  std::vector<Shard> shards_;
+  size_t next_shard_ = 0;    // round-robin submission cursor
+  size_t queued_ = 0;        // total queued tasks across shards
+  size_t running_ = 0;       // tasks currently executing
+  size_t queue_capacity_;
+  bool stopping_ = false;
+  uint64_t executed_ = 0;
+  uint64_t steals_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0), ..., fn(n-1), blocking until all calls finished.
+//
+//   * pool == nullptr: runs inline on the calling thread, in index order —
+//     the serial reference path (used for jobs <= 1).
+//   * otherwise: indices are submitted to the pool in contiguous chunks;
+//     the calling thread also executes chunks, so ParallelFor never
+//     deadlocks even when the pool is busy or called from a worker.
+//
+// If one or more calls throw, the exception of the lowest-indexed failing
+// chunk is rethrown after every call has finished (deterministic error
+// selection regardless of schedule).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace rtp::exec
+
+#endif  // RTP_EXEC_THREAD_POOL_H_

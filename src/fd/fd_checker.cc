@@ -142,4 +142,23 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
   return result;
 }
 
+std::vector<CheckResult> CheckFdBatch(
+    const FunctionalDependency& fd,
+    const std::vector<const xml::Document*>& docs,
+    const BatchCheckOptions& options) {
+  RTP_OBS_COUNT("fd.check.batches");
+  RTP_OBS_SCOPED_TIMER("fd.check.batch_ns");
+  exec::ThreadPool* pool = options.pool;
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && options.jobs > 1) {
+    owned_pool.emplace(options.jobs);
+    pool = &*owned_pool;
+  }
+  std::vector<CheckResult> results(docs.size());
+  exec::ParallelFor(pool, docs.size(), [&](size_t i) {
+    results[i] = CheckFd(fd, *docs[i], options.check);
+  });
+  return results;
+}
+
 }  // namespace rtp::fd

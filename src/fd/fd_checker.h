@@ -3,7 +3,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "fd/functional_dependency.h"
 #include "pattern/evaluator.h"
 #include "xml/document.h"
@@ -40,6 +42,26 @@ struct CheckOptions {
 // use subtree hashing with exact ValueEqual confirmation.
 CheckResult CheckFd(const FunctionalDependency& fd, const xml::Document& doc,
                     const CheckOptions& options = {});
+
+struct BatchCheckOptions {
+  CheckOptions check;
+  // <= 1: serial, in document order (the reference path). When `pool` is
+  // set it is used as-is and `jobs` is ignored.
+  int jobs = 1;
+  exec::ThreadPool* pool = nullptr;
+};
+
+// Checks one FD against many documents, one task per document. Results
+// are indexed like `docs` and are bit-identical to calling CheckFd on each
+// document serially, for every jobs value.
+//
+// Thread-safety contract: each document is visited by exactly one task, so
+// `docs` must not contain the same Document twice (Document caches its
+// preorder index lazily and is not internally synchronized).
+std::vector<CheckResult> CheckFdBatch(
+    const FunctionalDependency& fd,
+    const std::vector<const xml::Document*>& docs,
+    const BatchCheckOptions& options = {});
 
 }  // namespace rtp::fd
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "fd/fd_checker.h"
 #include "fd/functional_dependency.h"
 #include "xml/document.h"
@@ -32,6 +33,14 @@ class FdIndex {
   // Builds the index with one full verification pass.
   static FdIndex Build(const FunctionalDependency& fd,
                        const xml::Document& doc);
+
+  // Builds one index per document, one pool task per document (`jobs` as
+  // in fd::BatchCheckOptions). Results are indexed like `docs` and
+  // identical to serial Build calls; `docs` must not repeat a Document.
+  static std::vector<FdIndex> BuildMany(
+      const FunctionalDependency& fd,
+      const std::vector<const xml::Document*>& docs, int jobs = 1,
+      exec::ThreadPool* pool = nullptr);
 
   // Whether the indexed document satisfied the FD at build/last-revalidate
   // time.

@@ -4,6 +4,7 @@
 
 #include "automata/pattern_compiler.h"
 #include "automata/product.h"
+#include "exec/automaton_cache.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -27,15 +28,29 @@ StatusOr<CriterionResult> CheckIndependence(
         "be a leaf of its template (Section 5)");
   }
 
-  HedgeAutomaton fd_automaton;
-  HedgeAutomaton u_automaton;
+  // Compiled pattern automata, either freshly built or shared through the
+  // caller's AutomatonCache (the batch/matrix path compiles each FD and
+  // update class once instead of once per pair).
+  std::shared_ptr<const HedgeAutomaton> fd_shared;
+  std::shared_ptr<const HedgeAutomaton> u_shared;
+  HedgeAutomaton fd_local;
+  HedgeAutomaton u_local;
   {
     RTP_OBS_TRACE_SPAN("independence.compile_patterns");
-    fd_automaton =
-        CompilePattern(fd.pattern(), MarkMode::kTraceAndSelectedSubtrees);
-    u_automaton =
-        CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
+    if (options.cache != nullptr) {
+      fd_shared = options.cache->GetPatternAutomaton(
+          fd.pattern(), *alphabet, MarkMode::kTraceAndSelectedSubtrees);
+      u_shared = options.cache->GetPatternAutomaton(
+          update.pattern(), *alphabet, MarkMode::kSelectedImagesOnly);
+    } else {
+      fd_local =
+          CompilePattern(fd.pattern(), MarkMode::kTraceAndSelectedSubtrees);
+      u_local =
+          CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
+    }
   }
+  const HedgeAutomaton& fd_automaton = fd_shared ? *fd_shared : fd_local;
+  const HedgeAutomaton& u_automaton = u_shared ? *u_shared : u_local;
   HedgeAutomaton schema_automaton =
       schema != nullptr ? HedgeAutomaton() : HedgeAutomaton::Universal();
   const HedgeAutomaton& a_s =

@@ -10,6 +10,10 @@
 #include "update/update_class.h"
 #include "xml/document.h"
 
+namespace rtp::exec {
+class AutomatonCache;
+}  // namespace rtp::exec
+
 namespace rtp::independence {
 
 // Result of checking the independence criterion IC (Propositions 2 and 3).
@@ -37,6 +41,12 @@ struct CriterionResult {
 struct CriterionOptions {
   // Also synthesize `conflict_candidate` when the criterion fails.
   bool want_conflict_candidate = false;
+
+  // Optional shared compile cache: the FD and update-class pattern
+  // automata are looked up (and built at most once per pattern) instead of
+  // recompiled per check. Safe to share across threads; see
+  // docs/PARALLELISM.md.
+  exec::AutomatonCache* cache = nullptr;
 };
 
 // Checks the independence criterion: builds the automaton for

@@ -1,5 +1,10 @@
 #include "independence/matrix.h"
 
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace rtp::independence {
 
 std::vector<size_t> IndependenceMatrix::FdsToRecheck(
@@ -46,19 +51,59 @@ std::string IndependenceMatrix::ToString(
 StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
     const std::vector<const fd::FunctionalDependency*>& fds,
     const std::vector<const update::UpdateClass*>& classes,
-    const schema::Schema* schema, Alphabet* alphabet) {
+    const schema::Schema* schema, Alphabet* alphabet,
+    const MatrixOptions& options) {
+  RTP_OBS_SCOPED_TIMER("independence.matrix.ns");
   IndependenceMatrix matrix;
   matrix.num_fds = fds.size();
   matrix.num_classes = classes.size();
-  matrix.entries.reserve(fds.size() * classes.size());
-  for (size_t f = 0; f < fds.size(); ++f) {
-    for (size_t c = 0; c < classes.size(); ++c) {
-      RTP_ASSIGN_OR_RETURN(
-          CriterionResult result,
-          CheckIndependence(*fds[f], *classes[c], schema, alphabet));
-      matrix.entries.push_back(
-          MatrixEntry{f, c, result.independent, result.product_size});
+  size_t num_pairs = fds.size() * classes.size();
+  matrix.entries.resize(num_pairs);
+
+  // Warm the compile cache serially so the shared FD / update automata are
+  // built exactly once instead of racing (each would still build once
+  // under the cache's build-once contract, but late pairs would block on
+  // the winner instead of doing useful work).
+  CriterionOptions pair_options;
+  pair_options.cache = options.cache;
+  if (options.cache != nullptr) {
+    for (const fd::FunctionalDependency* fd : fds) {
+      options.cache->GetPatternAutomaton(
+          fd->pattern(), *alphabet,
+          automata::MarkMode::kTraceAndSelectedSubtrees);
     }
+    for (const update::UpdateClass* cls : classes) {
+      options.cache->GetPatternAutomaton(
+          cls->pattern(), *alphabet,
+          automata::MarkMode::kSelectedImagesOnly);
+    }
+  }
+
+  exec::ThreadPool* pool = options.pool;
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && options.jobs > 1) {
+    owned_pool.emplace(options.jobs);
+    pool = &*owned_pool;
+  }
+
+  // One task per (fd, class) pair, each writing its pre-assigned row-major
+  // slot; statuses are merged afterwards in pair order, so the verdicts
+  // and the reported error do not depend on the schedule.
+  std::vector<Status> statuses(num_pairs);
+  exec::ParallelFor(pool, num_pairs, [&](size_t pair) {
+    size_t f = pair / classes.size();
+    size_t c = pair % classes.size();
+    StatusOr<CriterionResult> result = CheckIndependence(
+        *fds[f], *classes[c], schema, alphabet, pair_options);
+    if (!result.ok()) {
+      statuses[pair] = result.status();
+      return;
+    }
+    matrix.entries[pair] =
+        MatrixEntry{f, c, result->independent, result->product_size};
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
   }
   return matrix;
 }

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/automaton_cache.h"
+#include "exec/thread_pool.h"
 #include "independence/criterion.h"
 
 namespace rtp::independence {
@@ -40,12 +42,33 @@ struct IndependenceMatrix {
                        const std::vector<std::string>& class_names) const;
 };
 
+struct MatrixOptions {
+  // Number of worker threads for the pair checks. <= 1 runs serially on
+  // the calling thread (the reference path); 0 is treated as 1. When
+  // `pool` is set, it is used as-is and `jobs` is ignored.
+  int jobs = 1;
+  exec::ThreadPool* pool = nullptr;
+
+  // Shared compile cache: each FD / update-class automaton is built once
+  // and reused across all pairs (and across matrices sharing the cache).
+  exec::AutomatonCache* cache = nullptr;
+};
+
 // Runs CheckIndependence for every (fd, class) pair. Fails on the first
-// structural error (e.g. a non-leaf-selected update class).
+// structural error in row-major pair order (e.g. a non-leaf-selected
+// update class).
+//
+// Determinism: the result (entry order, every field, and which error is
+// reported) is byte-identical for every jobs value — each pair writes a
+// pre-assigned row-major slot, and errors are selected by lowest pair
+// index after all pairs finished. The shared `alphabet` is only read:
+// conflict-candidate synthesis (the one interning path of the criterion)
+// is disabled for matrix checks.
 StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
     const std::vector<const fd::FunctionalDependency*>& fds,
     const std::vector<const update::UpdateClass*>& classes,
-    const schema::Schema* schema, Alphabet* alphabet);
+    const schema::Schema* schema, Alphabet* alphabet,
+    const MatrixOptions& options = {});
 
 }  // namespace rtp::independence
 

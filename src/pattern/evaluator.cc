@@ -1,6 +1,7 @@
 #include "pattern/evaluator.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "obs/metrics.h"
@@ -216,6 +217,22 @@ std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
   RTP_OBS_COUNT_N("pattern.eval.tuples_selected", result.size());
   RTP_OBS_COUNT_N("pattern.eval.duplicate_tuples", duplicates);
   return result;
+}
+
+std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
+    const TreePattern& pattern, const std::vector<const Document*>& docs,
+    int jobs, exec::ThreadPool* pool) {
+  RTP_OBS_COUNT("pattern.eval.batches");
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && jobs > 1) {
+    owned_pool.emplace(jobs);
+    pool = &*owned_pool;
+  }
+  std::vector<std::vector<std::vector<NodeId>>> results(docs.size());
+  exec::ParallelFor(pool, docs.size(), [&](size_t i) {
+    results[i] = EvaluateSelected(pattern, *docs[i]);
+  });
+  return results;
 }
 
 std::vector<NodeId> TraceOf(const Document& doc, const Mapping& mapping) {

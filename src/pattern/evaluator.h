@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "pattern/tree_pattern.h"
 #include "xml/document.h"
 
@@ -124,6 +125,15 @@ class MappingEnumerator {
 // in first-encountered order.
 std::vector<std::vector<xml::NodeId>> EvaluateSelected(
     const TreePattern& pattern, const xml::Document& doc);
+
+// Evaluates one pattern against many documents, one pool task per
+// document (`jobs` <= 1 runs serially; a non-null `pool` overrides
+// `jobs`). Results are indexed like `docs` and bit-identical to serial
+// EvaluateSelected calls for every jobs value. `docs` must not repeat a
+// Document (its lazy preorder index is not internally synchronized).
+std::vector<std::vector<std::vector<xml::NodeId>>> EvaluateSelectedBatch(
+    const TreePattern& pattern, const std::vector<const xml::Document*>& docs,
+    int jobs = 1, exec::ThreadPool* pool = nullptr);
 
 // The trace of a mapping: the smallest subtree of the document containing
 // the image of the template (union of the root-to-image paths). Returned

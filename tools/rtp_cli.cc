@@ -1,10 +1,13 @@
 // rtp_cli — command-line front end for the library.
 //
 //   rtp_cli [global flags] validate    <schema-file> <xml-file>
-//   rtp_cli [global flags] checkfd     <fd-file> <xml-file>
-//   rtp_cli [global flags] eval        <pattern-file> <xml-file>
+//   rtp_cli [global flags] checkfd     <fd-file> <xml-file>...
+//   rtp_cli [global flags] eval        <pattern-file> <xml-file>...
 //   rtp_cli [global flags] xpath       <query> <xml-file>
 //   rtp_cli [global flags] independent <fd-file> <update-pattern-file>
+//                                      [schema-file]
+//   rtp_cli [global flags] matrix      <fd-file>[,<fd-file>...]
+//                                      <update-file>[,<update-file>...]
 //                                      [schema-file]
 //   rtp_cli [global flags] materialize <view-pattern-file> <xml-file>
 //
@@ -13,13 +16,25 @@
 //                        registry as JSON to <file> (or stderr).
 //   --trace-out=<file>   record phase spans and write chrome://tracing
 //                        JSON to <file>.
+//   --jobs=N             worker threads for the batch subcommands (matrix,
+//                        multi-document checkfd/eval); 0 means "one per
+//                        hardware thread". Results are byte-identical for
+//                        every N (default 1: serial).
+//
+// checkfd and eval accept several XML files; the documents are processed
+// in parallel under --jobs but reported strictly in command-line order,
+// and eval prints each document's tuples sorted by document order, so the
+// output is deterministic.
 //
 // Pattern/FD files use the DSL of pattern_parser.h; schema files the DSL
-// of schema.h. Exit code 0 means "holds" (valid / satisfied / independent),
-// 1 means the negative verdict, 2 a usage or input error. Input errors
-// print the full status detail (code name + message) on stderr.
+// of schema.h. Exit code 0 means "holds" (valid / satisfied / independent
+// — for matrix: every pair independent), 1 means the negative verdict, 2 a
+// usage or input error. Input errors print the full status detail (code
+// name + message) on stderr.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -27,8 +42,11 @@
 #include <string>
 #include <vector>
 
+#include "exec/automaton_cache.h"
+#include "exec/thread_pool.h"
 #include "fd/fd_checker.h"
 #include "independence/criterion.h"
+#include "independence/matrix.h"
 #include "automata/pattern_compiler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,18 +67,23 @@ int Usage(const char* detail = nullptr) {
   if (detail != nullptr) std::fprintf(stderr, "error: %s\n", detail);
   std::fprintf(stderr,
                "usage: rtp_cli [flags] validate    <schema-file> <xml-file>\n"
-               "       rtp_cli [flags] checkfd     <fd-file> <xml-file>\n"
-               "       rtp_cli [flags] eval        <pattern-file> <xml-file>\n"
+               "       rtp_cli [flags] checkfd     <fd-file> <xml-file>...\n"
+               "       rtp_cli [flags] eval        <pattern-file> "
+               "<xml-file>...\n"
                "       rtp_cli [flags] xpath       <query> <xml-file>\n"
                "       rtp_cli [flags] independent <fd-file> <update-file> "
                "[schema-file]\n"
+               "       rtp_cli [flags] matrix      <fd-file>[,...] "
+               "<update-file>[,...] [schema-file]\n"
                "       rtp_cli [flags] materialize <view-file> <xml-file>\n"
                "       rtp_cli [flags] dot         pattern|automaton "
                "<pattern-file>\n"
                "flags: --stats[=<file>]   dump obs metrics JSON after the "
                "command\n"
                "       --trace-out=<file> write chrome://tracing phase "
-               "spans\n");
+               "spans\n"
+               "       --jobs=N           worker threads for batch "
+               "subcommands (0 = hardware)\n");
   return 2;
 }
 
@@ -92,37 +115,88 @@ int CmdValidate(Alphabet* alphabet, const std::string& schema_path,
   return valid ? 0 : 1;
 }
 
+// Parses every XML file serially (parsing interns labels into the shared
+// alphabet, which is not thread-safe); evaluation then runs in parallel.
+StatusOr<std::vector<xml::Document>> ParseXmlFiles(
+    Alphabet* alphabet, const std::vector<std::string>& paths) {
+  std::vector<xml::Document> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    RTP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    RTP_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseXml(alphabet, text));
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<const xml::Document*> DocPointers(
+    const std::vector<xml::Document>& docs) {
+  std::vector<const xml::Document*> ptrs;
+  ptrs.reserve(docs.size());
+  for (const xml::Document& doc : docs) ptrs.push_back(&doc);
+  return ptrs;
+}
+
 int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
-               const std::string& xml_path) {
+               const std::vector<std::string>& xml_paths, int jobs) {
   CLI_ASSIGN(fd_text, ReadFile(fd_path));
-  CLI_ASSIGN(xml_text, ReadFile(xml_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, fd_text));
   CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(parsed)));
-  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
-  fd::CheckResult result = fd::CheckFd(fd, doc);
-  std::printf("%s (%zu mappings, %zu groups)\n",
-              result.satisfied ? "satisfied" : "VIOLATED",
-              result.num_mappings, result.num_groups);
-  if (!result.satisfied) {
-    std::printf("%s", result.violation->Describe(doc, fd).c_str());
+  CLI_ASSIGN(docs, ParseXmlFiles(alphabet, xml_paths));
+  fd::BatchCheckOptions options;
+  options.jobs = jobs;
+  std::vector<fd::CheckResult> results =
+      fd::CheckFdBatch(fd, DocPointers(docs), options);
+  bool all_satisfied = true;
+  for (size_t d = 0; d < results.size(); ++d) {
+    const fd::CheckResult& result = results[d];
+    all_satisfied = all_satisfied && result.satisfied;
+    // Single-document invocations keep the historical un-prefixed format.
+    if (xml_paths.size() > 1) std::printf("%s: ", xml_paths[d].c_str());
+    std::printf("%s (%zu mappings, %zu groups)\n",
+                result.satisfied ? "satisfied" : "VIOLATED",
+                result.num_mappings, result.num_groups);
+    if (!result.satisfied) {
+      std::printf("%s", result.violation->Describe(docs[d], fd).c_str());
+    }
   }
-  return result.satisfied ? 0 : 1;
+  return all_satisfied ? 0 : 1;
 }
 
 int CmdEval(Alphabet* alphabet, const std::string& pattern_path,
-            const std::string& xml_path) {
+            const std::vector<std::string>& xml_paths, int jobs) {
   CLI_ASSIGN(pattern_text, ReadFile(pattern_path));
-  CLI_ASSIGN(xml_text, ReadFile(xml_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, pattern_text));
-  CLI_ASSIGN(doc, xml::ParseXml(alphabet, xml_text));
-  auto tuples = pattern::EvaluateSelected(parsed.pattern, doc);
-  std::printf("%zu tuple(s)\n", tuples.size());
-  for (const auto& tuple : tuples) {
-    for (size_t i = 0; i < tuple.size(); ++i) {
-      std::printf("%s%s", i ? "\t" : "",
-                  xml::WriteXmlSubtree(doc, tuple[i], /*indent=*/false).c_str());
+  CLI_ASSIGN(docs, ParseXmlFiles(alphabet, xml_paths));
+  auto per_doc =
+      pattern::EvaluateSelectedBatch(parsed.pattern, DocPointers(docs), jobs);
+  for (size_t d = 0; d < per_doc.size(); ++d) {
+    const xml::Document& doc = docs[d];
+    auto& tuples = per_doc[d];
+    // Emit tuples sorted by document order (lexicographic preorder
+    // comparison), not in enumeration order: enumeration order is an
+    // implementation detail of the match tables, and output must be
+    // stable for any --jobs value and across evaluator changes.
+    std::sort(tuples.begin(), tuples.end(),
+              [&doc](const std::vector<xml::NodeId>& a,
+                     const std::vector<xml::NodeId>& b) {
+                for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                  uint32_t pa = doc.PreorderIndex(a[i]);
+                  uint32_t pb = doc.PreorderIndex(b[i]);
+                  if (pa != pb) return pa < pb;
+                }
+                return a.size() < b.size();
+              });
+    if (xml_paths.size() > 1) std::printf("%s: ", xml_paths[d].c_str());
+    std::printf("%zu tuple(s)\n", tuples.size());
+    for (const auto& tuple : tuples) {
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        std::printf(
+            "%s%s", i ? "\t" : "",
+            xml::WriteXmlSubtree(doc, tuple[i], /*indent=*/false).c_str());
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
   return 0;
 }
@@ -175,6 +249,84 @@ int CmdIndependent(Alphabet* alphabet, const std::string& fd_path,
                 xml::WriteXml(*verdict.conflict_candidate).c_str());
   }
   return 1;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    parts.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
+              const std::string& update_list, const std::string& schema_path,
+              int jobs) {
+  std::vector<std::string> fd_paths = SplitCommaList(fd_list);
+  std::vector<std::string> update_paths = SplitCommaList(update_list);
+
+  std::vector<fd::FunctionalDependency> fds;
+  fds.reserve(fd_paths.size());
+  for (const std::string& path : fd_paths) {
+    CLI_ASSIGN(text, ReadFile(path));
+    CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, text));
+    CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(parsed)));
+    fds.push_back(std::move(fd));
+  }
+  std::vector<update::UpdateClass> classes;
+  classes.reserve(update_paths.size());
+  for (const std::string& path : update_paths) {
+    CLI_ASSIGN(text, ReadFile(path));
+    CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, text));
+    CLI_ASSIGN(cls, update::UpdateClass::FromParsed(std::move(parsed)));
+    classes.push_back(std::move(cls));
+  }
+
+  std::optional<schema::Schema> schema_storage;
+  const schema::Schema* schema = nullptr;
+  if (!schema_path.empty()) {
+    CLI_ASSIGN(schema_text, ReadFile(schema_path));
+    CLI_ASSIGN(parsed_schema, schema::Schema::Parse(alphabet, schema_text));
+    schema_storage = std::move(parsed_schema);
+    schema = &*schema_storage;
+  }
+
+  std::vector<const fd::FunctionalDependency*> fd_ptrs;
+  for (const auto& fd : fds) fd_ptrs.push_back(&fd);
+  std::vector<const update::UpdateClass*> class_ptrs;
+  for (const auto& cls : classes) class_ptrs.push_back(&cls);
+
+  independence::MatrixOptions options;
+  options.jobs = jobs;
+  options.cache = &exec::AutomatonCache::Global();
+  CLI_ASSIGN(matrix,
+             independence::ComputeIndependenceMatrix(fd_ptrs, class_ptrs,
+                                                     schema, alphabet,
+                                                     options));
+
+  std::vector<std::string> fd_names;
+  for (const std::string& path : fd_paths) fd_names.push_back(Basename(path));
+  std::vector<std::string> class_names;
+  for (const std::string& path : update_paths) {
+    class_names.push_back(Basename(path));
+  }
+  std::printf("%s", matrix.ToString(fd_names, class_names).c_str());
+  size_t independent = 0;
+  for (const auto& entry : matrix.entries) {
+    if (entry.independent) ++independent;
+  }
+  std::printf("%zu/%zu pair(s) independent\n", independent,
+              matrix.entries.size());
+  return independent == matrix.entries.size() ? 0 : 1;
 }
 
 int CmdDot(Alphabet* alphabet, const std::string& what,
@@ -238,7 +390,7 @@ bool WriteOutput(const std::string& path, const std::string& content,
   return true;
 }
 
-int Dispatch(const std::vector<std::string>& args) {
+int Dispatch(const std::vector<std::string>& args, int jobs) {
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
   size_t argc = args.size();
@@ -246,11 +398,12 @@ int Dispatch(const std::vector<std::string>& args) {
   if (cmd == "validate" && argc == 3) {
     return CmdValidate(&alphabet, args[1], args[2]);
   }
-  if (cmd == "checkfd" && argc == 3) {
-    return CmdCheckFd(&alphabet, args[1], args[2]);
+  if (cmd == "checkfd" && argc >= 3) {
+    return CmdCheckFd(&alphabet, args[1],
+                      {args.begin() + 2, args.end()}, jobs);
   }
-  if (cmd == "eval" && argc == 3) {
-    return CmdEval(&alphabet, args[1], args[2]);
+  if (cmd == "eval" && argc >= 3) {
+    return CmdEval(&alphabet, args[1], {args.begin() + 2, args.end()}, jobs);
   }
   if (cmd == "xpath" && argc == 3) {
     return CmdXPath(&alphabet, args[1], args[2]);
@@ -259,6 +412,10 @@ int Dispatch(const std::vector<std::string>& args) {
     return CmdIndependent(&alphabet, args[1], args[2],
                           argc == 4 ? args[3] : "");
   }
+  if (cmd == "matrix" && (argc == 3 || argc == 4)) {
+    return CmdMatrix(&alphabet, args[1], args[2], argc == 4 ? args[3] : "",
+                     jobs);
+  }
   if (cmd == "materialize" && argc == 3) {
     return CmdMaterialize(&alphabet, args[1], args[2]);
   }
@@ -266,7 +423,7 @@ int Dispatch(const std::vector<std::string>& args) {
     return CmdDot(&alphabet, args[1], args[2]);
   }
   bool known = cmd == "validate" || cmd == "checkfd" || cmd == "eval" ||
-               cmd == "xpath" || cmd == "independent" ||
+               cmd == "xpath" || cmd == "independent" || cmd == "matrix" ||
                cmd == "materialize" || cmd == "dot";
   std::string detail = known
                            ? "wrong number of arguments for '" + cmd + "'"
@@ -278,6 +435,7 @@ int Dispatch(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   ObsOptions obs_options;
+  int jobs = 1;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -291,6 +449,15 @@ int main(int argc, char** argv) {
       if (obs_options.trace_file.empty()) {
         return Usage("--trace-out requires a file path");
       }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      std::string value(arg.substr(std::strlen("--jobs=")));
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 1024) {
+        return Usage("--jobs requires an integer in [0, 1024]");
+      }
+      jobs = parsed == 0 ? exec::ThreadPool::DefaultJobs()
+                         : static_cast<int>(parsed);
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(("unknown flag '" + std::string(arg) + "'").c_str());
     } else {
@@ -301,7 +468,7 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session;
   if (!obs_options.trace_file.empty()) trace_session.Start();
 
-  int exit_code = Dispatch(args);
+  int exit_code = Dispatch(args, jobs);
 
   if (!obs_options.trace_file.empty()) {
     trace_session.Stop();

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Local CI driver: builds and tests the repo in three configurations.
+#
+#   1. plain          Release, no sanitizer         — full ctest suite
+#   2. asan-ubsan     -DRTP_SANITIZE=address,undefined — full ctest suite
+#   3. tsan           -DRTP_SANITIZE=thread         — `ctest -L exec` only:
+#      the exec label marks the concurrency suite (rtp::exec engine,
+#      parallel differential battery, obs counters). TSan slows everything
+#      ~10x and the rest of the suite is single-threaded, so the label
+#      keeps the leg focused on code that actually runs concurrently.
+#
+# usage: tools/run_ci.sh [build-dir-prefix]
+#
+#   build-dir-prefix  defaults to ./build-ci; the three trees are
+#                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan.
+#
+# Exits non-zero on the first failing configuration.
+set -euo pipefail
+
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+source_dir="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_leg() {
+  local name="$1" sanitize="$2" ctest_args="$3"
+  local build_dir="${prefix}-${name}"
+  echo "==== [$name] configure (RTP_SANITIZE='${sanitize}')" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="$sanitize" \
+    > /dev/null
+  echo "==== [$name] build" >&2
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==== [$name] ctest $ctest_args" >&2
+  # shellcheck disable=SC2086  # ctest_args is a deliberate word list
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" $ctest_args)
+}
+
+run_leg plain      ""                  ""
+run_leg asan-ubsan "address,undefined" ""
+run_leg tsan       "thread"            "-L exec"
+
+echo "==== all CI legs passed" >&2
