@@ -43,6 +43,7 @@
 #include "automata/pattern_compiler.h"
 #include "obs/metrics.h"
 #include "pattern/tree_pattern.h"
+#include "regex/dense_dfa.h"
 #include "regex/dfa.h"
 
 namespace rtp::exec {
@@ -135,15 +136,23 @@ class AutomatonCache {
       const std::string& key, const std::function<regex::Dfa()>& build) {
     return dfas_.GetOrBuild(key, build);
   }
+  std::shared_ptr<const regex::DenseDfa> GetDenseDfa(
+      const std::string& key,
+      const std::function<regex::DenseDfa()>& build) {
+    return dense_dfas_.GetOrBuild(key, build);
+  }
 
   // Drops every entry (outstanding shared_ptrs stay valid).
   void Clear();
 
-  size_t size() const { return automata_.size() + dfas_.size(); }
+  size_t size() const {
+    return automata_.size() + dfas_.size() + dense_dfas_.size();
+  }
 
  private:
   internal::MemoMap<automata::HedgeAutomaton> automata_;
   internal::MemoMap<regex::Dfa> dfas_;
+  internal::MemoMap<regex::DenseDfa> dense_dfas_;
 };
 
 }  // namespace rtp::exec

@@ -20,22 +20,6 @@ using xml::NodeId;
 
 namespace {
 
-// Caches subtree hashes: FD condition/target images repeat across mappings.
-class SubtreeHashCache {
- public:
-  explicit SubtreeHashCache(const Document& doc) : doc_(doc) {}
-
-  uint64_t Hash(NodeId n) {
-    auto [it, inserted] = cache_.try_emplace(n, 0);
-    if (inserted) it->second = xml::SubtreeHash(doc_, n);
-    return it->second;
-  }
-
- private:
-  const Document& doc_;
-  std::unordered_map<NodeId, uint64_t> cache_;
-};
-
 // One representative mapping per (context, conditions) group.
 struct GroupEntry {
   Mapping mapping;
@@ -71,15 +55,18 @@ std::string Violation::Describe(const Document& doc,
   return out;
 }
 
-CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
-                    const CheckOptions& options) {
+namespace {
+
+CheckResult CheckFdImpl(const FunctionalDependency& fd,
+                        pattern::MatchTables tables,
+                        const CheckOptions& options) {
   RTP_OBS_COUNT("fd.check.calls");
   RTP_OBS_SCOPED_TIMER("fd.check.ns");
   RTP_OBS_TRACE_SPAN("fd.CheckFd");
+  const Document& doc = tables.doc();
   CheckResult result;
-  pattern::MatchTables tables = pattern::MatchTables::Build(fd.pattern(), doc);
   pattern::MappingEnumerator enumerator(tables);
-  SubtreeHashCache hashes(doc);
+  xml::SubtreeHashCache hashes(doc);
 
   const std::vector<SelectedNode>& selected = fd.pattern().selected();
   const size_t num_conditions = selected.size() - 1;
@@ -140,6 +127,20 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
   RTP_OBS_COUNT_N("fd.check.group_comparisons", group_comparisons);
   if (!result.satisfied) RTP_OBS_COUNT("fd.check.violations");
   return result;
+}
+
+}  // namespace
+
+CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
+                    const CheckOptions& options) {
+  return CheckFdImpl(fd, pattern::MatchTables::Build(fd.pattern(), doc),
+                     options);
+}
+
+CheckResult CheckFd(const FunctionalDependency& fd,
+                    const xml::DocIndex& index, const CheckOptions& options) {
+  return CheckFdImpl(fd, pattern::MatchTables::Build(fd.pattern(), index),
+                     options);
 }
 
 std::vector<CheckResult> CheckFdBatch(

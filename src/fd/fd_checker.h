@@ -8,6 +8,7 @@
 #include "exec/thread_pool.h"
 #include "fd/functional_dependency.h"
 #include "pattern/evaluator.h"
+#include "xml/doc_index.h"
 #include "xml/document.h"
 
 namespace rtp::fd {
@@ -41,6 +42,14 @@ struct CheckOptions {
 // keys) and testing target agreement within each group. Value comparisons
 // use subtree hashing with exact ValueEqual confirmation.
 CheckResult CheckFd(const FunctionalDependency& fd, const xml::Document& doc,
+                    const CheckOptions& options = {});
+
+// Same check over a prebuilt document snapshot; callers checking several
+// FDs against one document share the index instead of re-deriving the
+// postorder/child structure per FD. Results are identical to the Document
+// overload.
+CheckResult CheckFd(const FunctionalDependency& fd,
+                    const xml::DocIndex& index,
                     const CheckOptions& options = {});
 
 struct BatchCheckOptions {

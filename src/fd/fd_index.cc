@@ -19,6 +19,12 @@ using xml::Document;
 using xml::NodeId;
 
 FdIndex FdIndex::Build(const FunctionalDependency& fd, const Document& doc) {
+  std::shared_ptr<const xml::DocIndex> snapshot = doc.Snapshot();
+  return Build(fd, *snapshot);
+}
+
+FdIndex FdIndex::Build(const FunctionalDependency& fd,
+                       const xml::DocIndex& doc_index) {
   RTP_OBS_COUNT("fd.index.builds");
   RTP_OBS_SCOPED_TIMER("fd.index.build_ns");
   FdIndex index(fd);
@@ -33,7 +39,7 @@ FdIndex FdIndex::Build(const FunctionalDependency& fd, const Document& doc) {
       break;
     }
   }
-  index.Recompute(doc, {}, /*restrict_contexts=*/false);
+  index.Recompute(doc_index, {}, /*restrict_contexts=*/false);
   index.RefreshVerdict();
   return index;
 }
@@ -59,9 +65,10 @@ std::vector<FdIndex> FdIndex::BuildMany(
   return results;
 }
 
-void FdIndex::Recompute(const Document& doc,
+void FdIndex::Recompute(const xml::DocIndex& doc_index,
                         const std::vector<NodeId>& contexts,
                         bool restrict_contexts) {
+  const Document& doc = doc_index.doc();
   std::set<NodeId> scope(contexts.begin(), contexts.end());
   if (restrict_contexts) {
     size_t summaries_before = summaries_.size();
@@ -78,7 +85,8 @@ void FdIndex::Recompute(const Document& doc,
     last_pass_contexts_ = 0;
   }
 
-  pattern::MatchTables tables = pattern::MatchTables::Build(fd_->pattern(), doc);
+  pattern::MatchTables tables =
+      pattern::MatchTables::Build(fd_->pattern(), doc_index);
   pattern::MappingEnumerator enumerator(tables);
   const pattern::PatternNodeId context_node = fd_->context();
   if (restrict_contexts) {
@@ -94,15 +102,10 @@ void FdIndex::Recompute(const Document& doc,
   const size_t num_conditions = selected.size() - 1;
   const SelectedNode target = selected.back();
 
-  std::unordered_map<NodeId, uint64_t> hash_cache;
-  auto subtree_hash = [&](NodeId n) {
-    auto [it, inserted] = hash_cache.try_emplace(n, 0);
-    if (inserted) it->second = xml::SubtreeHash(doc, n);
-    return it->second;
-  };
+  xml::SubtreeHashCache hash_cache(doc);
   auto selected_key = [&](const SelectedNode& s, NodeId image) {
     return s.equality == EqualityType::kNode ? static_cast<uint64_t>(image)
-                                             : subtree_hash(image);
+                                             : hash_cache.Hash(image);
   };
 
   last_pass_mappings_ = 0;
@@ -135,9 +138,14 @@ bool FdIndex::Revalidate(const Document& doc,
                          const std::vector<NodeId>& updated_roots) {
   RTP_OBS_COUNT("fd.index.revalidations");
   RTP_OBS_SCOPED_TIMER("fd.index.revalidate_ns");
+  // The update mutated the tree, which dropped the document's cached
+  // snapshot; this rebuilds it once for the pass (and for any later
+  // evaluation against the unchanged document).
+  std::shared_ptr<const xml::DocIndex> snapshot = doc.Snapshot();
+  const xml::DocIndex& doc_index = *snapshot;
   if (!supports_incremental_) {
     RTP_OBS_COUNT("fd.index.fallback_full");
-    Recompute(doc, {}, /*restrict_contexts=*/false);
+    Recompute(doc_index, {}, /*restrict_contexts=*/false);
     RefreshVerdict();
     return satisfied_;
   }
@@ -173,7 +181,7 @@ bool FdIndex::Revalidate(const Document& doc,
     }
   }
 
-  Recompute(doc, std::vector<NodeId>(affected.begin(), affected.end()),
+  Recompute(doc_index, std::vector<NodeId>(affected.begin(), affected.end()),
             /*restrict_contexts=*/true);
   RefreshVerdict();
   return satisfied_;

@@ -8,6 +8,7 @@
 #include "exec/thread_pool.h"
 #include "fd/fd_checker.h"
 #include "fd/functional_dependency.h"
+#include "xml/doc_index.h"
 #include "xml/document.h"
 
 namespace rtp::fd {
@@ -30,9 +31,14 @@ namespace rtp::fd {
 // performance baseline the paper argues the criterion avoids).
 class FdIndex {
  public:
-  // Builds the index with one full verification pass.
+  // Builds the index with one full verification pass. The DocIndex
+  // overload shares a prebuilt snapshot across several FdIndex builds
+  // against one document (results are identical); the snapshot must be
+  // current — rebuild it after any structural update.
   static FdIndex Build(const FunctionalDependency& fd,
                        const xml::Document& doc);
+  static FdIndex Build(const FunctionalDependency& fd,
+                       const xml::DocIndex& index);
 
   // Builds one index per document, one pool task per document (`jobs` as
   // in fd::BatchCheckOptions). Results are indexed like `docs` and
@@ -78,8 +84,9 @@ class FdIndex {
   explicit FdIndex(const FunctionalDependency& fd) : fd_(&fd) {}
 
   // Recomputes summaries for the given context images (or all when
-  // `restrict_contexts` is false).
-  void Recompute(const xml::Document& doc,
+  // `restrict_contexts` is false), evaluating over `index` (a snapshot of
+  // the document that must be current).
+  void Recompute(const xml::DocIndex& index,
                  const std::vector<xml::NodeId>& contexts,
                  bool restrict_contexts);
   void RefreshVerdict();

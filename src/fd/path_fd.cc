@@ -140,7 +140,9 @@ regex::Regex WordRegex(Alphabet* alphabet,
   for (const std::string& label : word) {
     parts.push_back(regex::Sym(alphabet->Intern(label)));
   }
-  return regex::Regex::FromAst(regex::Cat(std::move(parts)));
+  regex::Regex edge = regex::Regex::FromAst(regex::Cat(std::move(parts)));
+  edge.EnsureMinimalDfa();
+  return edge;
 }
 
 // Emits the (chain-compressed) trie below `node` under pattern node

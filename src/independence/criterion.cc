@@ -94,16 +94,25 @@ bool IsInCriterionLanguage(const xml::Document& doc,
                            const fd::FunctionalDependency& fd,
                            const update::UpdateClass& update,
                            const schema::Schema* schema) {
+  return IsInCriterionLanguage(*doc.Snapshot(), fd, update, schema);
+}
+
+bool IsInCriterionLanguage(const xml::DocIndex& index,
+                           const fd::FunctionalDependency& fd,
+                           const update::UpdateClass& update,
+                           const schema::Schema* schema) {
+  const xml::Document& doc = index.doc();
   RTP_OBS_COUNT("independence.reverify.calls");
   RTP_OBS_SCOPED_TIMER("independence.reverify.ns");
   if (schema != nullptr && !schema->Validate(doc)) return false;
 
   // Nodes the update class would update.
-  std::vector<xml::NodeId> updated = update.SelectNodes(doc);
+  std::vector<xml::NodeId> updated = update.SelectNodes(index);
   if (updated.empty()) return false;
 
   // Does some FD mapping's trace-or-covered set intersect them?
-  pattern::MatchTables tables = pattern::MatchTables::Build(fd.pattern(), doc);
+  pattern::MatchTables tables =
+      pattern::MatchTables::Build(fd.pattern(), index);
   pattern::MappingEnumerator enumerator(tables);
   bool found = false;
   enumerator.ForEach([&](const pattern::Mapping& m) {

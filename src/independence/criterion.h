@@ -8,6 +8,7 @@
 #include "fd/functional_dependency.h"
 #include "schema/schema.h"
 #include "update/update_class.h"
+#include "xml/doc_index.h"
 #include "xml/document.h"
 
 namespace rtp::exec {
@@ -68,8 +69,15 @@ StatusOr<CriterionResult> CheckIndependence(
 
 // Direct (automaton-free) test of membership of `doc` in the language L of
 // Definition 6, via pattern evaluation. Used to cross-validate the
-// automaton construction and to explain conflict candidates.
+// automaton construction and to explain conflict candidates. The DocIndex
+// overload shares one document snapshot between the update-class and FD
+// evaluations (and with any other pattern the caller runs on the
+// document); results are identical.
 bool IsInCriterionLanguage(const xml::Document& doc,
+                           const fd::FunctionalDependency& fd,
+                           const update::UpdateClass& update,
+                           const schema::Schema* schema);
+bool IsInCriterionLanguage(const xml::DocIndex& index,
                            const fd::FunctionalDependency& fd,
                            const update::UpdateClass& update,
                            const schema::Schema* schema);

@@ -2,128 +2,135 @@
 
 #include <algorithm>
 #include <optional>
-#include <set>
+#include <unordered_set>
 
-#include "obs/metrics.h"
+#include "common/hashing.h"
 #include "obs/scoped_timer.h"
 
 namespace rtp::pattern {
 
+using xml::DocIndex;
 using xml::Document;
 using xml::kInvalidNode;
 using xml::NodeId;
 
 MatchTables MatchTables::Build(const TreePattern& pattern,
                                const Document& doc) {
+  std::shared_ptr<const DocIndex> owned = doc.Snapshot();
+  const DocIndex& index = *owned;
+  return BuildImpl(pattern, index, std::move(owned));
+}
+
+MatchTables MatchTables::Build(const TreePattern& pattern,
+                               const DocIndex& index) {
+  return BuildImpl(pattern, index, nullptr);
+}
+
+MatchTables MatchTables::BuildImpl(const TreePattern& pattern,
+                                   const DocIndex& index,
+                                   std::shared_ptr<const DocIndex> owned) {
   RTP_OBS_COUNT("pattern.eval.tables_built");
+  RTP_OBS_COUNT("pattern.eval.dense.builds");
   RTP_OBS_SCOPED_TIMER("pattern.eval.tables_build_ns");
   MatchTables t;
   t.pattern_ = &pattern;
-  t.doc_ = &doc;
+  t.owned_index_ = std::move(owned);
+  t.index_ = &index;
 
   const size_t num_template_nodes = pattern.NumNodes();
+  t.edge_dfa_.assign(num_template_nodes, nullptr);
   t.pair_offset_.assign(num_template_nodes, 0);
   uint32_t pairs = 0;
   for (PatternNodeId w = 1; w < num_template_nodes; ++w) {
+    t.edge_dfa_[w] = &pattern.edge(w).dense_dfa();
     t.pair_offset_[w] = pairs;
-    pairs += static_cast<uint32_t>(pattern.edge(w).dfa().NumStates());
+    pairs += static_cast<uint32_t>(t.edge_dfa_[w]->NumStates());
   }
   t.num_pairs_ = pairs;
   t.pair_words_ = (pairs + 63) / 64;
   t.node_words_ = (num_template_nodes + 63) / 64;
 
-  const size_t arena = doc.ArenaSize();
+  const size_t arena = index.ArenaSize();
   t.delivers_.assign(arena * t.pair_words_, 0);
   t.realizes_.assign(arena * t.node_words_, 0);
 
-  // Postorder over the live tree.
-  std::vector<NodeId> postorder;
-  postorder.reserve(arena);
-  {
-    std::vector<NodeId> stack = {doc.root()};
-    while (!stack.empty()) {
-      NodeId v = stack.back();
-      stack.pop_back();
-      postorder.push_back(v);
-      for (NodeId c = doc.first_child(v); c != kInvalidNode;
-           c = doc.next_sibling(c)) {
-        stack.push_back(c);
-      }
+  // Leaf template nodes realize every document node; precompute their
+  // Realizes row mask once and restrict the per-node greedy matching to
+  // internal template nodes.
+  std::vector<uint64_t> leaf_mask(t.node_words_, 0);
+  std::vector<PatternNodeId> internal_nodes;
+  for (PatternNodeId w = 0; w < num_template_nodes; ++w) {
+    if (pattern.children(w).empty()) {
+      leaf_mask[w / 64] |= uint64_t{1} << (w % 64);
+    } else {
+      internal_nodes.push_back(w);
     }
-    std::reverse(postorder.begin(), postorder.end());
+  }
+  std::vector<int32_t> init_state(num_template_nodes, 0);
+  for (PatternNodeId w = 1; w < num_template_nodes; ++w) {
+    init_state[w] = t.edge_dfa_[w]->initial();
   }
 
+  size_t label_skips = 0;
   std::vector<uint64_t> child_or(t.pair_words_);
-  for (NodeId v : postorder) {
+  for (NodeId v : index.Postorder()) {
+    std::span<const NodeId> kids = index.Children(v);
+
     // OR of children's delivers bitsets.
     std::fill(child_or.begin(), child_or.end(), 0);
-    for (NodeId c = doc.first_child(v); c != kInvalidNode;
-         c = doc.next_sibling(c)) {
-      for (size_t i = 0; i < t.pair_words_; ++i) {
-        child_or[i] |= t.delivers_[c * t.pair_words_ + i];
-      }
+    for (NodeId c : kids) {
+      const uint64_t* row = t.delivers_.data() + c * t.pair_words_;
+      for (size_t i = 0; i < t.pair_words_; ++i) child_or[i] |= row[i];
     }
 
     // Realizes: greedy in-order assignment of children to outgoing edges.
-    for (PatternNodeId w = 0; w < num_template_nodes; ++w) {
+    uint64_t* realizes_row = t.realizes_.data() + v * t.node_words_;
+    for (size_t i = 0; i < t.node_words_; ++i) realizes_row[i] |= leaf_mask[i];
+    for (PatternNodeId w : internal_nodes) {
       const std::vector<PatternNodeId>& edges = pattern.children(w);
       size_t j = 0;
-      for (NodeId c = doc.first_child(v); c != kInvalidNode && j < edges.size();
-           c = doc.next_sibling(c)) {
+      for (NodeId c : kids) {
+        if (j == edges.size()) break;
         PatternNodeId target = edges[j];
-        int32_t init = pattern.edge(target).dfa().initial();
-        if (t.Delivers(c, target, init)) ++j;
+        if (t.Delivers(c, target, init_state[target])) ++j;
       }
       if (j == edges.size()) {
-        SetBit(&t.realizes_, v, t.node_words_, w);
+        realizes_row[w / 64] |= uint64_t{1} << (w % 64);
       }
     }
 
-    // Delivers: for every (edge, state-before-v) pair.
-    LabelId label = doc.label(v);
+    // Delivers: for every (edge, state-before-v) pair. An edge whose DFA
+    // cannot move any state on v's label contributes nothing — skip its
+    // whole state loop.
+    const LabelId label = index.label(v);
+    uint64_t* delivers_row = t.delivers_.data() + v * t.pair_words_;
     for (PatternNodeId w = 1; w < num_template_nodes; ++w) {
-      const regex::Dfa& dfa = pattern.edge(w).dfa();
-      int32_t num_states = dfa.NumStates();
+      const regex::DenseDfa& dfa = *t.edge_dfa_[w];
+      const int32_t col = dfa.Column(label);
+      if (!dfa.ColumnLive(col)) {
+        ++label_skips;
+        continue;
+      }
+      const int32_t* next_col = dfa.ColumnData(col);
+      const uint32_t base = t.pair_offset_[w];
+      const int32_t num_states = dfa.NumStates();
+      const bool realizes_w = (realizes_row[w / 64] >> (w % 64)) & 1;
       for (int32_t s = 0; s < num_states; ++s) {
-        int32_t next = dfa.Next(s, label);
+        const int32_t next = next_col[s];
         if (next == regex::kDeadState) continue;
-        uint32_t index = t.pair_offset_[w] + static_cast<uint32_t>(s);
-        bool ends_here = dfa.accepting(next) && t.Realizes(v, w);
-        uint32_t cont_index = t.pair_offset_[w] + static_cast<uint32_t>(next);
-        bool continues =
+        const bool ends_here = realizes_w && dfa.accepting(next);
+        const uint32_t cont_index = base + static_cast<uint32_t>(next);
+        const bool continues =
             (child_or[cont_index / 64] >> (cont_index % 64)) & 1;
         if (ends_here || continues) {
-          SetBit(&t.delivers_, v, t.pair_words_, index);
+          const uint32_t bit = base + static_cast<uint32_t>(s);
+          delivers_row[bit / 64] |= uint64_t{1} << (bit % 64);
         }
       }
     }
   }
+  RTP_OBS_COUNT_N("pattern.eval.dense.label_skips", label_skips);
   return t;
-}
-
-size_t MappingEnumerator::ForEach(const Callback& fn) {
-  visited_ = 0;
-  assignments_tried_ = 0;
-  assignments_filtered_ = 0;
-  RTP_OBS_COUNT("pattern.eval.enumerations");
-  if (!tables_.HasTrace()) {
-    RTP_OBS_COUNT("pattern.eval.no_trace");
-    return 0;
-  }
-  if (assign_filter_ &&
-      !assign_filter_(TreePattern::kRoot, tables_.doc().root())) {
-    return 0;
-  }
-  fn_ = &fn;
-  current_.image.assign(tables_.pattern().NumNodes(), kInvalidNode);
-  current_.image[TreePattern::kRoot] = tables_.doc().root();
-  tasks_.clear();
-  tasks_.emplace_back(TreePattern::kRoot, tables_.doc().root());
-  ExpandTasks(0);
-  RTP_OBS_COUNT_N("pattern.eval.mappings_visited", visited_);
-  RTP_OBS_COUNT_N("pattern.eval.assignments_tried", assignments_tried_);
-  RTP_OBS_COUNT_N("pattern.eval.assignments_filtered", assignments_filtered_);
-  return visited_;
 }
 
 size_t MappingEnumerator::Count(size_t limit) {
@@ -135,80 +142,31 @@ size_t MappingEnumerator::Count(size_t limit) {
   return count;
 }
 
-bool MappingEnumerator::ExpandTasks(size_t task_index) {
-  if (task_index == tasks_.size()) {
-    ++visited_;
-    return (*fn_)(current_);
-  }
-  auto [w, v] = tasks_[task_index];
-  return ChooseEdge(w, v, 0, tables_.doc().first_child(v), task_index);
-}
+namespace {
 
-bool MappingEnumerator::ChooseEdge(PatternNodeId w, NodeId v,
-                                   size_t edge_index, NodeId from_child,
-                                   size_t task_index) {
-  const TreePattern& pattern = tables_.pattern();
-  const Document& doc = tables_.doc();
-  const std::vector<PatternNodeId>& edges = pattern.children(w);
-  if (edge_index == edges.size()) return ExpandTasks(task_index + 1);
-
-  PatternNodeId target = edges[edge_index];
-  int32_t init = pattern.edge(target).dfa().initial();
-  for (NodeId c = from_child; c != kInvalidNode; c = doc.next_sibling(c)) {
-    if (!tables_.Delivers(c, target, init)) continue;
-    NodeId next_from = doc.next_sibling(c);
-    bool keep_going = ForEachEndpoint(c, target, init, [&](NodeId endpoint) {
-      ++assignments_tried_;
-      if (assign_filter_ && !assign_filter_(target, endpoint)) {
-        ++assignments_filtered_;
-        return true;  // skip this assignment, keep enumerating others
-      }
-      current_.image[target] = endpoint;
-      tasks_.emplace_back(target, endpoint);
-      bool cont = ChooseEdge(w, v, edge_index + 1, next_from, task_index);
-      tasks_.pop_back();
-      current_.image[target] = kInvalidNode;
-      return cont;
-    });
-    if (!keep_going) return false;
+struct TupleHash {
+  size_t operator()(const std::vector<NodeId>& tuple) const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (NodeId n : tuple) h = HashMix(h, n);
+    return static_cast<size_t>(h);
   }
-  return true;
-}
+};
 
-bool MappingEnumerator::ForEachEndpoint(
-    NodeId v, PatternNodeId w, int32_t s,
-    const std::function<bool(NodeId)>& yield) {
-  const TreePattern& pattern = tables_.pattern();
-  const Document& doc = tables_.doc();
-  const regex::Dfa& dfa = pattern.edge(w).dfa();
-  int32_t next = dfa.Next(s, doc.label(v));
-  if (next == regex::kDeadState) return true;
-  if (dfa.accepting(next) && tables_.Realizes(v, w)) {
-    if (!yield(v)) return false;
-  }
-  for (NodeId c = doc.first_child(v); c != kInvalidNode;
-       c = doc.next_sibling(c)) {
-    if (!tables_.Delivers(c, w, next)) continue;
-    if (!ForEachEndpoint(c, w, next, yield)) return false;
-  }
-  return true;
-}
-
-std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
-                                                  const Document& doc) {
-  MatchTables tables = MatchTables::Build(pattern, doc);
+std::vector<std::vector<NodeId>> EvaluateSelectedImpl(
+    const TreePattern& pattern, const MatchTables& tables) {
   MappingEnumerator enumerator(tables);
   std::vector<std::vector<NodeId>> result;
-  std::set<std::vector<NodeId>> seen;
+  std::unordered_set<std::vector<NodeId>, TupleHash> seen;
   size_t duplicates = 0;
+  std::vector<NodeId> tuple;
   enumerator.ForEach([&](const Mapping& m) {
-    std::vector<NodeId> tuple;
+    tuple.clear();
     tuple.reserve(pattern.selected().size());
     for (const SelectedNode& s : pattern.selected()) {
       tuple.push_back(m.image[s.node]);
     }
     if (seen.insert(tuple).second) {
-      result.push_back(std::move(tuple));
+      result.push_back(tuple);
     } else {
       ++duplicates;
     }
@@ -217,6 +175,20 @@ std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
   RTP_OBS_COUNT_N("pattern.eval.tuples_selected", result.size());
   RTP_OBS_COUNT_N("pattern.eval.duplicate_tuples", duplicates);
   return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
+                                                  const Document& doc) {
+  MatchTables tables = MatchTables::Build(pattern, doc);
+  return EvaluateSelectedImpl(pattern, tables);
+}
+
+std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
+                                                  const DocIndex& index) {
+  MatchTables tables = MatchTables::Build(pattern, index);
+  return EvaluateSelectedImpl(pattern, tables);
 }
 
 std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
@@ -236,15 +208,23 @@ std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
 }
 
 std::vector<NodeId> TraceOf(const Document& doc, const Mapping& mapping) {
-  std::set<NodeId> nodes;
+  // Seen-bitmask over the arena plus a flat collection vector; the final
+  // sort restores the node-id order the previous std::set produced.
+  std::vector<NodeId> nodes;
+  std::vector<uint64_t> seen((doc.ArenaSize() + 63) / 64, 0);
   for (NodeId image : mapping.image) {
     if (image == kInvalidNode) continue;
     for (NodeId cur = image;; cur = doc.parent(cur)) {
-      if (!nodes.insert(cur).second) break;
+      uint64_t& word = seen[cur / 64];
+      const uint64_t bit = uint64_t{1} << (cur % 64);
+      if (word & bit) break;
+      word |= bit;
+      nodes.push_back(cur);
       if (cur == doc.root()) break;
     }
   }
-  return std::vector<NodeId>(nodes.begin(), nodes.end());
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
 }
 
 }  // namespace rtp::pattern

@@ -3,10 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "pattern/tree_pattern.h"
+#include "regex/dense_dfa.h"
+#include "xml/doc_index.h"
 #include "xml/document.h"
 
 namespace rtp::pattern {
@@ -32,17 +37,27 @@ struct Mapping {
 // Building the tables costs O(|D| * |R|)-ish time and memory and answers
 // "does D contain a trace of R" directly; enumeration is then guided by the
 // tables so dead branches are never explored.
+//
+// The build runs on the dense kernel: each edge's regex::DenseDfa (flat
+// column-major transition table) over an xml::DocIndex (frozen postorder /
+// child-span / label-column snapshot). The Document overload snapshots the
+// document itself; the DocIndex overload lets callers evaluating several
+// patterns or FDs against one document share a single snapshot. Outputs
+// are bit-identical either way.
 class MatchTables {
  public:
   static MatchTables Build(const TreePattern& pattern,
                            const xml::Document& doc);
+  static MatchTables Build(const TreePattern& pattern,
+                           const xml::DocIndex& index);
 
   const TreePattern& pattern() const { return *pattern_; }
-  const xml::Document& doc() const { return *doc_; }
+  const xml::Document& doc() const { return index_->doc(); }
+  const xml::DocIndex& index() const { return *index_; }
 
   // True iff there is at least one mapping of the pattern on the document.
   bool HasTrace() const {
-    return Realizes(doc_->root(), TreePattern::kRoot);
+    return Realizes(index_->root(), TreePattern::kRoot);
   }
 
   bool Realizes(xml::NodeId v, PatternNodeId w) const {
@@ -55,6 +70,10 @@ class MatchTables {
   }
 
  private:
+  static MatchTables BuildImpl(const TreePattern& pattern,
+                               const xml::DocIndex& index,
+                               std::shared_ptr<const xml::DocIndex> owned);
+
   static bool GetBit(const std::vector<uint64_t>& bits, xml::NodeId v,
                      size_t words, uint32_t index) {
     return (bits[v * words + index / 64] >> (index % 64)) & 1;
@@ -65,7 +84,9 @@ class MatchTables {
   }
 
   const TreePattern* pattern_ = nullptr;
-  const xml::Document* doc_ = nullptr;
+  std::shared_ptr<const xml::DocIndex> owned_index_;  // Document overload
+  const xml::DocIndex* index_ = nullptr;
+  std::vector<const regex::DenseDfa*> edge_dfa_;  // per template node; [0] null
   std::vector<uint32_t> pair_offset_;  // per template node; [0] unused
   uint32_t num_pairs_ = 0;
   size_t pair_words_ = 0;
@@ -77,17 +98,18 @@ class MatchTables {
 };
 
 // Enumerates mappings (Definition 2) of a pattern on a document, guided by
-// prebuilt MatchTables.
+// prebuilt MatchTables. The callbacks are templated callables (not
+// std::function), so a ForEach pass allocates nothing beyond the reused
+// task stack.
 class MappingEnumerator {
  public:
-  // `fn` is invoked once per mapping; returning false stops enumeration.
-  using Callback = std::function<bool(const Mapping&)>;
-
   explicit MappingEnumerator(const MatchTables& tables) : tables_(tables) {}
 
-  // Returns the number of mappings visited (all of them unless the
-  // callback stopped early).
-  size_t ForEach(const Callback& fn);
+  // `fn` is invoked once per mapping (signature bool(const Mapping&));
+  // returning false stops enumeration. Returns the number of mappings
+  // visited (all of them unless the callback stopped early).
+  template <typename Fn>
+  size_t ForEach(Fn&& fn);
 
   // Total number of mappings, stopping at `limit` if nonzero.
   size_t Count(size_t limit = 0);
@@ -95,22 +117,25 @@ class MappingEnumerator {
   // Optional pruning hook: called whenever a template node is tentatively
   // assigned an image; returning false discards every mapping extending
   // the assignment. Used e.g. to restrict enumeration to mappings whose
-  // context image lies in a given set (incremental FD maintenance).
+  // context image lies in a given set (incremental FD maintenance). Cold
+  // path, so type erasure is fine here.
   using AssignFilter = std::function<bool(PatternNodeId, xml::NodeId)>;
   void set_assign_filter(AssignFilter filter) {
     assign_filter_ = std::move(filter);
   }
 
  private:
-  bool ExpandTasks(size_t task_index);
+  template <typename Fn>
+  bool ExpandTasks(size_t task_index, Fn& fn);
+  template <typename Fn>
   bool ChooseEdge(PatternNodeId w, xml::NodeId v, size_t edge_index,
-                  xml::NodeId from_child, size_t task_index);
+                  size_t from_child, size_t task_index, Fn& fn);
+  template <typename Yield>
   bool ForEachEndpoint(xml::NodeId v, PatternNodeId w, int32_t s,
-                       const std::function<bool(xml::NodeId)>& yield);
+                       Yield&& yield);
 
   const MatchTables& tables_;
   AssignFilter assign_filter_;
-  const Callback* fn_ = nullptr;
   Mapping current_;
   std::vector<std::pair<PatternNodeId, xml::NodeId>> tasks_;
   size_t visited_ = 0;
@@ -122,9 +147,12 @@ class MappingEnumerator {
 
 // Identification phase (a) of evaluation: the distinct tuples of document
 // nodes selected by the pattern (the roots of the subtree tuples of R(D)),
-// in first-encountered order.
+// in first-encountered order. The DocIndex overload shares a prebuilt
+// document snapshot (multi-pattern callers); results are identical.
 std::vector<std::vector<xml::NodeId>> EvaluateSelected(
     const TreePattern& pattern, const xml::Document& doc);
+std::vector<std::vector<xml::NodeId>> EvaluateSelected(
+    const TreePattern& pattern, const xml::DocIndex& index);
 
 // Evaluates one pattern against many documents, one pool task per
 // document (`jobs` <= 1 runs serially; a non-null `pool` overrides
@@ -140,6 +168,95 @@ std::vector<std::vector<std::vector<xml::NodeId>>> EvaluateSelectedBatch(
 // sorted by node id.
 std::vector<xml::NodeId> TraceOf(const xml::Document& doc,
                                  const Mapping& mapping);
+
+// ---------------------------------------------------------------------------
+// MappingEnumerator template implementation.
+
+template <typename Fn>
+size_t MappingEnumerator::ForEach(Fn&& fn) {
+  visited_ = 0;
+  assignments_tried_ = 0;
+  assignments_filtered_ = 0;
+  RTP_OBS_COUNT("pattern.eval.enumerations");
+  if (!tables_.HasTrace()) {
+    RTP_OBS_COUNT("pattern.eval.no_trace");
+    return 0;
+  }
+  const xml::NodeId root = tables_.index().root();
+  if (assign_filter_ && !assign_filter_(TreePattern::kRoot, root)) {
+    return 0;
+  }
+  current_.image.assign(tables_.pattern().NumNodes(), xml::kInvalidNode);
+  current_.image[TreePattern::kRoot] = root;
+  tasks_.clear();
+  tasks_.emplace_back(TreePattern::kRoot, root);
+  ExpandTasks(0, fn);
+  RTP_OBS_COUNT_N("pattern.eval.mappings_visited", visited_);
+  RTP_OBS_COUNT_N("pattern.eval.assignments_tried", assignments_tried_);
+  RTP_OBS_COUNT_N("pattern.eval.assignments_filtered", assignments_filtered_);
+  return visited_;
+}
+
+template <typename Fn>
+bool MappingEnumerator::ExpandTasks(size_t task_index, Fn& fn) {
+  if (task_index == tasks_.size()) {
+    ++visited_;
+    return fn(static_cast<const Mapping&>(current_));
+  }
+  auto [w, v] = tasks_[task_index];
+  return ChooseEdge(w, v, 0, 0, task_index, fn);
+}
+
+template <typename Fn>
+bool MappingEnumerator::ChooseEdge(PatternNodeId w, xml::NodeId v,
+                                   size_t edge_index, size_t from_child,
+                                   size_t task_index, Fn& fn) {
+  const TreePattern& pattern = tables_.pattern();
+  const xml::DocIndex& index = tables_.index();
+  const std::vector<PatternNodeId>& edges = pattern.children(w);
+  if (edge_index == edges.size()) return ExpandTasks(task_index + 1, fn);
+
+  PatternNodeId target = edges[edge_index];
+  int32_t init = tables_.edge_dfa_[target]->initial();
+  std::span<const xml::NodeId> kids = index.Children(v);
+  for (size_t ci = from_child; ci < kids.size(); ++ci) {
+    xml::NodeId c = kids[ci];
+    if (!tables_.Delivers(c, target, init)) continue;
+    bool keep_going =
+        ForEachEndpoint(c, target, init, [&](xml::NodeId endpoint) {
+          ++assignments_tried_;
+          if (assign_filter_ && !assign_filter_(target, endpoint)) {
+            ++assignments_filtered_;
+            return true;  // skip this assignment, keep enumerating others
+          }
+          current_.image[target] = endpoint;
+          tasks_.emplace_back(target, endpoint);
+          bool cont = ChooseEdge(w, v, edge_index + 1, ci + 1, task_index, fn);
+          tasks_.pop_back();
+          current_.image[target] = xml::kInvalidNode;
+          return cont;
+        });
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+template <typename Yield>
+bool MappingEnumerator::ForEachEndpoint(xml::NodeId v, PatternNodeId w,
+                                        int32_t s, Yield&& yield) {
+  const xml::DocIndex& index = tables_.index();
+  const regex::DenseDfa& dfa = *tables_.edge_dfa_[w];
+  int32_t next = dfa.Next(s, index.label(v));
+  if (next == regex::kDeadState) return true;
+  if (dfa.accepting(next) && tables_.Realizes(v, w)) {
+    if (!yield(v)) return false;
+  }
+  for (xml::NodeId c : index.Children(v)) {
+    if (!tables_.Delivers(c, w, next)) continue;
+    if (!ForEachEndpoint(c, w, next, yield)) return false;
+  }
+  return true;
+}
 
 }  // namespace rtp::pattern
 

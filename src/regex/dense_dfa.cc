@@ -1,0 +1,58 @@
+#include "regex/dense_dfa.h"
+
+#include "obs/metrics.h"
+
+namespace rtp::regex {
+
+DenseDfa DenseDfa::Build(const Dfa& dfa) {
+  RTP_OBS_COUNT("regex.dense.builds");
+  DenseDfa d;
+  d.num_states_ = dfa.NumStates();
+  d.initial_ = dfa.initial();
+
+  // Assign columns in (state, label) first-seen order; the per-state label
+  // maps are ordered, so the remap is deterministic for a given Dfa.
+  LabelId max_label = 0;
+  for (int32_t s = 0; s < d.num_states_; ++s) {
+    for (const auto& [a, next] : dfa.state(s).next) {
+      if (a > max_label) max_label = a;
+    }
+  }
+  d.remap_.assign(static_cast<size_t>(max_label) + 1, kOtherColumn);
+  int32_t columns = 1;  // column 0 is "other"
+  for (int32_t s = 0; s < d.num_states_; ++s) {
+    for (const auto& [a, next] : dfa.state(s).next) {
+      if (d.remap_[a] == kOtherColumn) d.remap_[a] = columns++;
+    }
+  }
+  d.num_columns_ = columns;
+
+  d.table_.assign(static_cast<size_t>(columns) * d.num_states_, kDeadState);
+  d.accepting_.assign(static_cast<size_t>(d.num_states_), 0);
+  for (int32_t s = 0; s < d.num_states_; ++s) {
+    const Dfa::State& st = dfa.state(s);
+    // Every column defaults to the state's `otherwise` transition; the
+    // explicitly distinguished labels then overwrite their own column.
+    for (int32_t c = 0; c < columns; ++c) {
+      d.table_[static_cast<size_t>(c) * d.num_states_ + s] = st.otherwise;
+    }
+    for (const auto& [a, next] : st.next) {
+      d.table_[static_cast<size_t>(d.remap_[a]) * d.num_states_ + s] = next;
+    }
+    d.accepting_[static_cast<size_t>(s)] = st.accepting ? 1 : 0;
+  }
+
+  d.column_live_.assign(static_cast<size_t>(columns), 0);
+  for (int32_t c = 0; c < columns; ++c) {
+    const int32_t* col = d.ColumnData(c);
+    for (int32_t s = 0; s < d.num_states_; ++s) {
+      if (col[s] != kDeadState) {
+        d.column_live_[static_cast<size_t>(c)] = 1;
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace rtp::regex

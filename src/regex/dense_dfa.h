@@ -1,0 +1,79 @@
+#ifndef RTP_REGEX_DENSE_DFA_H_
+#define RTP_REGEX_DENSE_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "regex/dfa.h"
+
+namespace rtp::regex {
+
+// Frozen, flat transition table compiled from a Dfa for the evaluation hot
+// path (MatchTables::Build and mapping enumeration do one Next() per
+// (node, edge, state) triple; the std::map lookup inside Dfa::Next
+// dominates those loops).
+//
+// The open-ended label alphabet is collapsed to a compact per-DFA column
+// remap: every label some state explicitly distinguishes gets its own
+// column, and every other label — including labels interned after the
+// table was built — shares column 0 ("other"), which encodes the states'
+// `otherwise` transitions. The table is column-major so the per-state
+// inner loop of MatchTables::Build reads one contiguous column.
+//
+// A DenseDfa is immutable after Build and safe to share across threads.
+class DenseDfa {
+ public:
+  // Column index shared by every label the source DFA does not
+  // distinguish.
+  static constexpr int32_t kOtherColumn = 0;
+
+  DenseDfa() = default;
+
+  static DenseDfa Build(const Dfa& dfa);
+
+  int32_t initial() const { return initial_; }
+  int32_t NumStates() const { return num_states_; }
+  int32_t NumColumns() const { return num_columns_; }
+
+  // The column of label `a`; labels outside the remap (never distinguished
+  // by the source DFA, e.g. interned after Build) collapse to kOtherColumn.
+  int32_t Column(LabelId a) const {
+    return a < remap_.size() ? remap_[a] : kOtherColumn;
+  }
+
+  // Contiguous per-state successor array of one column: ColumnData(c)[s]
+  // is the state reached from s on any label mapping to column c.
+  const int32_t* ColumnData(int32_t col) const {
+    return table_.data() + static_cast<size_t>(col) * num_states_;
+  }
+
+  // One step; `s` must be a live state (not kDeadState). The result may be
+  // kDeadState.
+  int32_t Next(int32_t s, LabelId a) const { return ColumnData(Column(a))[s]; }
+
+  bool accepting(int32_t s) const {
+    return s != kDeadState && accepting_[static_cast<size_t>(s)] != 0;
+  }
+
+  // True iff some state moves (to a non-dead state) on this column/label.
+  // MatchTables uses this to skip an edge's whole per-state loop when a
+  // node's label cannot advance any state of that edge's DFA.
+  bool ColumnLive(int32_t col) const {
+    return column_live_[static_cast<size_t>(col)] != 0;
+  }
+  bool AnyLive(LabelId a) const { return ColumnLive(Column(a)); }
+
+ private:
+  int32_t num_states_ = 0;
+  int32_t num_columns_ = 1;
+  int32_t initial_ = 0;
+  std::vector<int32_t> remap_;       // LabelId -> column; missing => other
+  std::vector<int32_t> table_;       // column-major: [col * num_states + s]
+  std::vector<uint8_t> accepting_;   // per state
+  std::vector<uint8_t> column_live_; // per column
+};
+
+}  // namespace rtp::regex
+
+#endif  // RTP_REGEX_DENSE_DFA_H_

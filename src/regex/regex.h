@@ -6,14 +6,17 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "regex/dense_dfa.h"
 #include "regex/dfa.h"
 #include "regex/regex_ast.h"
 #include "regex/regex_parser.h"
 
 namespace rtp::regex {
 
-// A compiled regular expression: AST plus minimized DFA. Copyable (clones
-// the AST). This is the value attached to pattern edges.
+// A compiled regular expression: AST, minimized DFA, and the frozen dense
+// transition table the evaluation hot path runs on. Copyable (clones the
+// AST; the immutable dense table is shared). This is the value attached to
+// pattern edges.
 class Regex {
  public:
   // Parses and compiles. Fails on syntax errors.
@@ -30,6 +33,7 @@ class Regex {
   Regex& operator=(const Regex& other) {
     ast_ = CloneAst(*other.ast_);
     dfa_ = other.dfa_;
+    dense_ = other.dense_;  // immutable, shared across copies
     return *this;
   }
   Regex(Regex&&) = default;
@@ -37,6 +41,16 @@ class Regex {
 
   const RegexNode& ast() const { return *ast_; }
   const Dfa& dfa() const { return dfa_; }
+
+  // Dense table compiled from dfa() at construction, shared by all copies.
+  const DenseDfa& dense_dfa() const { return *dense_; }
+
+  // Re-minimizes the DFA in place (rebuilding the dense table) when that
+  // shrinks it. Parse/FromAst already minimize, so this is a no-op there;
+  // the pattern compilation paths (DSL parser, XPath and path-FD
+  // compilers) call it to make edge-DFA minimality an enforced invariant
+  // rather than a side effect of which constructor built the edge.
+  void EnsureMinimalDfa();
 
   // A pattern edge label must be proper: the empty word is not in the
   // language (Definition 1).
@@ -52,10 +66,14 @@ class Regex {
   int32_t AutomatonSize() const { return dfa_.NumStates(); }
 
  private:
-  Regex(RegexAst ast, Dfa dfa) : ast_(std::move(ast)), dfa_(std::move(dfa)) {}
+  Regex(RegexAst ast, Dfa dfa)
+      : ast_(std::move(ast)),
+        dfa_(std::move(dfa)),
+        dense_(std::make_shared<const DenseDfa>(DenseDfa::Build(dfa_))) {}
 
   RegexAst ast_;
   Dfa dfa_;
+  std::shared_ptr<const DenseDfa> dense_;
 };
 
 }  // namespace rtp::regex

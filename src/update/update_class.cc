@@ -27,7 +27,14 @@ bool UpdateClass::SelectedAreLeaves() const {
 
 std::vector<xml::NodeId> UpdateClass::SelectNodes(
     const xml::Document& doc) const {
-  pattern::MatchTables tables = pattern::MatchTables::Build(pattern_, doc);
+  std::shared_ptr<const xml::DocIndex> snapshot = doc.Snapshot();
+  return SelectNodes(*snapshot);
+}
+
+std::vector<xml::NodeId> UpdateClass::SelectNodes(
+    const xml::DocIndex& index) const {
+  const xml::Document& doc = index.doc();
+  pattern::MatchTables tables = pattern::MatchTables::Build(pattern_, index);
   pattern::MappingEnumerator enumerator(tables);
   std::set<xml::NodeId> nodes;
   enumerator.ForEach([&](const pattern::Mapping& m) {

@@ -7,6 +7,7 @@
 #include "pattern/evaluator.h"
 #include "pattern/pattern_parser.h"
 #include "pattern/tree_pattern.h"
+#include "xml/doc_index.h"
 #include "xml/document.h"
 
 namespace rtp::update {
@@ -29,8 +30,11 @@ class UpdateClass {
   // (Section 5): it guarantees the U-trace survives the update.
   bool SelectedAreLeaves() const;
 
-  // Distinct document nodes selected for update, in document order.
+  // Distinct document nodes selected for update, in document order. The
+  // DocIndex overload evaluates over a shared prebuilt snapshot (see
+  // xml/doc_index.h); results are identical.
   std::vector<xml::NodeId> SelectNodes(const xml::Document& doc) const;
+  std::vector<xml::NodeId> SelectNodes(const xml::DocIndex& index) const;
 
  private:
   explicit UpdateClass(pattern::TreePattern pattern)

@@ -1,0 +1,51 @@
+#include "xml/doc_index.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace rtp::xml {
+
+DocIndex DocIndex::Build(const Document& doc) {
+  RTP_OBS_COUNT("xml.doc_index.builds");
+  RTP_OBS_SCOPED_TIMER("xml.doc_index.build_ns");
+  DocIndex d;
+  d.doc_ = &doc;
+  d.root_ = doc.root();
+
+  const size_t arena = doc.ArenaSize();
+  d.child_begin_.assign(arena, 0);
+  d.child_count_.assign(arena, 0);
+  d.labels_.resize(arena);
+  for (NodeId n = 0; n < arena; ++n) d.labels_[n] = doc.label(n);
+
+  // One preorder pass fills the contiguous child spans and (reversed at
+  // the end) the postorder array — the same traversal order the evaluator
+  // previously derived per build.
+  d.children_.reserve(arena);
+  d.postorder_.reserve(arena);
+  std::vector<NodeId> stack = {d.root_};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    d.postorder_.push_back(v);
+    const size_t begin = d.children_.size();
+    for (NodeId c = doc.first_child(v); c != kInvalidNode;
+         c = doc.next_sibling(c)) {
+      d.children_.push_back(c);
+    }
+    d.child_begin_[v] = static_cast<uint32_t>(begin);
+    d.child_count_[v] = static_cast<uint32_t>(d.children_.size() - begin);
+    // Push in sibling order so they pop (and land in postorder_) with the
+    // last child first; the final reverse restores document order.
+    for (size_t i = begin; i < d.children_.size(); ++i) {
+      stack.push_back(d.children_[i]);
+    }
+  }
+  std::reverse(d.postorder_.begin(), d.postorder_.end());
+  RTP_OBS_COUNT_N("xml.doc_index.nodes_indexed", d.postorder_.size());
+  return d;
+}
+
+}  // namespace rtp::xml

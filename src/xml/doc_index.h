@@ -1,0 +1,70 @@
+#ifndef RTP_XML_DOC_INDEX_H_
+#define RTP_XML_DOC_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "xml/document.h"
+
+namespace rtp::xml {
+
+// Frozen structure-of-arrays snapshot of a Document's live tree, built
+// once and shared by every pattern / FD evaluated against the document:
+//
+//   - the postorder traversal MatchTables::Build runs over (previously
+//     re-derived from the first_child/next_sibling pointer chains on every
+//     build),
+//   - contiguous child spans (one array slice per node, in sibling order),
+//   - a dense label column.
+//
+// Lifetime and invalidation: a DocIndex must not outlive its Document, and
+// it describes the tree as of Build time. Any structural mutation —
+// AddChild, DetachSubtree, ReplaceSubtree, InsertSubtree, Compact,
+// set_label, i.e. everything update::ApplyOperationAt does — invalidates
+// the snapshot; rebuild it before evaluating again (see
+// docs/PERFORMANCE.md). Value-only mutation (set_value) keeps it valid:
+// the snapshot stores structure and labels, never values.
+//
+// A DocIndex is immutable after Build and safe to share across threads
+// (unlike Document, whose lazily cached preorder index is unsynchronized).
+class DocIndex {
+ public:
+  DocIndex() = default;
+
+  static DocIndex Build(const Document& doc);
+
+  const Document& doc() const { return *doc_; }
+  NodeId root() const { return root_; }
+
+  // Arena size at Build time (bitset/table sizing).
+  size_t ArenaSize() const { return child_begin_.size(); }
+  size_t LiveNodeCount() const { return postorder_.size(); }
+
+  // Live nodes, children before parents, siblings in document order.
+  std::span<const NodeId> Postorder() const { return postorder_; }
+
+  // Children of `v` in sibling order (empty for leaves and for nodes that
+  // were detached at Build time).
+  std::span<const NodeId> Children(NodeId v) const {
+    return std::span<const NodeId>(children_.data() + child_begin_[v],
+                                   child_count_[v]);
+  }
+  size_t ChildCount(NodeId v) const { return child_count_[v]; }
+
+  LabelId label(NodeId v) const { return labels_[v]; }
+
+ private:
+  const Document* doc_ = nullptr;
+  NodeId root_ = kInvalidNode;
+  std::vector<NodeId> postorder_;
+  std::vector<uint32_t> child_begin_;  // arena-indexed slice starts
+  std::vector<uint32_t> child_count_;  // arena-indexed slice lengths
+  std::vector<NodeId> children_;       // all child lists, concatenated
+  std::vector<LabelId> labels_;        // arena-indexed
+};
+
+}  // namespace rtp::xml
+
+#endif  // RTP_XML_DOC_INDEX_H_

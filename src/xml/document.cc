@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "xml/doc_index.h"
+
 namespace rtp::xml {
+
+std::shared_ptr<const DocIndex> Document::Snapshot() const {
+  if (snapshot_.index == nullptr) {
+    snapshot_.index = std::make_shared<const DocIndex>(DocIndex::Build(*this));
+  } else {
+    RTP_OBS_COUNT("xml.doc_index.snapshot_hits");
+  }
+  return snapshot_.index;
+}
 
 Document::Document(Alphabet* alphabet) : alphabet_(alphabet) {
   RTP_CHECK(alphabet != nullptr);

@@ -2,6 +2,7 @@
 #define RTP_XML_DOCUMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "common/check.h"
 
 namespace rtp::xml {
+
+class DocIndex;
 
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
@@ -116,6 +119,14 @@ class Document {
   // Preorder index of an attached node (root is 0).
   uint32_t PreorderIndex(NodeId n) const;
 
+  // Shared frozen snapshot of the live tree (see doc_index.h), built
+  // lazily on first use and dropped by the same mutations that invalidate
+  // the preorder index, so repeated evaluations against an unchanged
+  // document reuse one DocIndex. Same caveat as the preorder cache: the
+  // lazy build is not synchronized, so take the snapshot before handing
+  // the document to concurrent readers.
+  std::shared_ptr<const DocIndex> Snapshot() const;
+
   // Appends a copy of src(src_node) under dst_parent of this document.
   // Returns the root of the copy. `src` may be this document, but src_node
   // must not be an ancestor of dst_parent.
@@ -182,9 +193,26 @@ class Document {
     std::string value;
   };
 
+  // The cached DocIndex points back at this document, so moving the
+  // document must drop it (a fresh one is built on demand); a plain
+  // shared_ptr member would carry the dangling back-pointer along.
+  struct SnapshotSlot {
+    mutable std::shared_ptr<const DocIndex> index;
+    SnapshotSlot() = default;
+    SnapshotSlot(SnapshotSlot&& other) noexcept { other.index.reset(); }
+    SnapshotSlot& operator=(SnapshotSlot&& other) noexcept {
+      index.reset();
+      other.index.reset();
+      return *this;
+    }
+  };
+
   NodeId NewNode(LabelId label, NodeType type, std::string_view value);
   void AppendExisting(NodeId parent, NodeId child);
-  void InvalidateOrder() { order_valid_ = false; }
+  void InvalidateOrder() {
+    order_valid_ = false;
+    snapshot_.index.reset();
+  }
   void EnsureOrder() const;
 
   Alphabet* alphabet_;
@@ -195,6 +223,7 @@ class Document {
   // detached ones.
   mutable std::vector<uint32_t> preorder_;
   mutable bool order_valid_ = false;
+  SnapshotSlot snapshot_;
 };
 
 }  // namespace rtp::xml

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "xml/document.h"
 
@@ -26,6 +27,30 @@ uint64_t SubtreeHash(const Document& d, NodeId n);
 // value-equal iff their canonical forms are byte-equal. Intended for
 // debugging and as the exact key in hash-grouping.
 std::string CanonicalForm(const Document& d, NodeId n);
+
+// Arena-indexed memo of SubtreeHash: FD condition/target images repeat
+// across mappings, so the checkers hash each node at most once. Two flat
+// vectors instead of a hash map — the hot path is a bounds-free load plus
+// a byte test. Sized for the document's arena at construction; structural
+// mutation of the document invalidates the cache.
+class SubtreeHashCache {
+ public:
+  explicit SubtreeHashCache(const Document& doc)
+      : doc_(doc), hashes_(doc.ArenaSize(), 0), valid_(doc.ArenaSize(), 0) {}
+
+  uint64_t Hash(NodeId n) {
+    if (!valid_[n]) {
+      hashes_[n] = SubtreeHash(doc_, n);
+      valid_[n] = 1;
+    }
+    return hashes_[n];
+  }
+
+ private:
+  const Document& doc_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint8_t> valid_;
+};
 
 }  // namespace rtp::xml
 

@@ -23,6 +23,7 @@
 #include "pattern/reference_evaluator.h"
 #include "update/update_class.h"
 #include "workload/exam_generator.h"
+#include "xml/doc_index.h"
 #include "workload/exam_schema.h"
 #include "workload/paper_patterns.h"
 #include "workload/random_pattern.h"
@@ -290,6 +291,49 @@ TEST(ParallelEvalTest, RandomWorkloadMatchesSerialAndReference) {
           << "seed=" << seed << " doc=" << i;
     }
     // Batch vs serial: exact, order included, for every jobs value.
+    for (int jobs : kJobs) {
+      auto batch = pattern::EvaluateSelectedBatch(pattern, ptrs, jobs);
+      EXPECT_EQ(batch, serial) << "seed=" << seed << " jobs=" << jobs;
+    }
+  }
+}
+
+// Dense kernel leg: the flat-table evaluator (DenseDfa + DocIndex; the
+// only evaluator since PR 3) must agree with the Definition 2 oracle, and
+// the per-document, shared-snapshot, and batch entry points must all be
+// bit-identical to each other at every jobs value.
+TEST(DenseKernelDifferentialTest, DocAndIndexAndBatchMatchReference) {
+  Alphabet alphabet;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::RandomPatternParams pattern_params;
+    pattern_params.seed = seed * 13;
+    pattern_params.num_labels = 4;
+    pattern::TreePattern pattern =
+        workload::GenerateRandomPattern(&alphabet, pattern_params);
+
+    std::vector<xml::Document> docs;
+    for (uint64_t tree_seed = 1; tree_seed <= 4; ++tree_seed) {
+      workload::RandomTreeParams tree_params;
+      tree_params.seed = seed * 500 + tree_seed;
+      tree_params.max_nodes = 12;
+      docs.push_back(workload::GenerateRandomTree(&alphabet, tree_params));
+    }
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& doc : docs) ptrs.push_back(&doc);
+
+    std::vector<std::vector<std::vector<xml::NodeId>>> serial;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      serial.push_back(pattern::EvaluateSelected(pattern, docs[i]));
+      // Shared prebuilt snapshot: identical, order included.
+      const xml::DocIndex index = xml::DocIndex::Build(docs[i]);
+      EXPECT_EQ(pattern::EvaluateSelected(pattern, index), serial[i])
+          << "seed=" << seed << " doc=" << i;
+      // Oracle comparison as tuple sets.
+      std::set<std::vector<xml::NodeId>> got(serial[i].begin(),
+                                             serial[i].end());
+      EXPECT_EQ(got, ReferenceSelectedTuples(pattern, docs[i]))
+          << "seed=" << seed << " doc=" << i;
+    }
     for (int jobs : kJobs) {
       auto batch = pattern::EvaluateSelectedBatch(pattern, ptrs, jobs);
       EXPECT_EQ(batch, serial) << "seed=" << seed << " jobs=" << jobs;

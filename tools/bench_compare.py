@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON files and fail on regressions.
+
+usage: bench_compare.py BASELINE.json CURRENT.json [options]
+
+Both inputs are run_benches.sh / RTP_BENCH_JSON outputs: one JSON object
+per line with at least "bench" and "cpu_time" (ns). Lines may carry a
+"run" tag ("before"/"after", as in BENCH_pr3.json); by default the
+baseline uses its "after" lines (falling back to untagged ones), so the
+committed before/after file works directly as a baseline.
+
+For every benchmark on the allowlist that appears in both files, the
+relative cpu_time change is computed; any benchmark slower than the
+baseline by more than --threshold (default 10%) fails the comparison.
+Allowlisted benchmarks missing from either file fail too — a vanished
+benchmark must be an explicit allowlist edit, not a silent pass.
+"""
+
+import argparse
+import json
+import sys
+
+# Named allowlist guarded by tools/run_ci.sh's perf leg: the dense-kernel
+# hot paths on the exam workload at n=4096 (see docs/PERFORMANCE.md).
+DEFAULT_ALLOWLIST = [
+    "BM_MatchTablesR1/4096",
+    "BM_MatchTablesR3/4096",
+    "BM_EnumerateR2/4096",
+    "BM_EnumerateR3/4096",
+    "BM_CheckFd1/4096",
+    "BM_CheckFd2/4096",
+    "BM_CheckFd3/4096",
+    "BM_CheckFd5/4096",
+]
+
+
+def load(path, prefer_run=None):
+    """bench name -> cpu_time; prefers lines whose "run" == prefer_run."""
+    times, tagged = {}, {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            name, cpu = d["bench"], float(d["cpu_time"])
+            if prefer_run is not None and d.get("run") == prefer_run:
+                tagged[name] = cpu
+            else:
+                times[name] = cpu
+    times.update(tagged)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="max tolerated relative cpu_time increase (default 0.10)")
+    parser.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help="allowlist entry (repeatable; default: built-in list)")
+    parser.add_argument(
+        "--baseline-run", default="after",
+        help='preferred "run" tag in the baseline (default "after")')
+    args = parser.parse_args()
+
+    baseline = load(args.baseline, prefer_run=args.baseline_run)
+    current = load(args.current)
+    allowlist = args.bench if args.bench else DEFAULT_ALLOWLIST
+
+    failures = []
+    for name in allowlist:
+        if name not in baseline:
+            failures.append(f"{name}: missing from baseline {args.baseline}")
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current {args.current}")
+            continue
+        base, cur = baseline[name], current[name]
+        change = (cur - base) / base
+        status = "FAIL" if change > args.threshold else "ok"
+        print(f"{status:4s} {name:30s} {base / 1e6:10.3f}ms -> "
+              f"{cur / 1e6:10.3f}ms  {change:+7.1%}")
+        if change > args.threshold:
+            failures.append(
+                f"{name}: {change:+.1%} (threshold {args.threshold:.0%})")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(allowlist)} allowlisted benchmarks within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

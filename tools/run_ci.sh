@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI driver: builds and tests the repo in three configurations.
+# Local CI driver: builds and tests the repo in three configurations,
+# then runs a perf smoke.
 #
 #   1. plain          Release, no sanitizer         — full ctest suite
 #   2. asan-ubsan     -DRTP_SANITIZE=address,undefined — full ctest suite
@@ -8,15 +9,25 @@
 #      parallel differential battery, obs counters). TSan slows everything
 #      ~10x and the rest of the suite is single-threaded, so the label
 #      keeps the leg focused on code that actually runs concurrently.
+#   4. perf           one pass over the allowlisted benchmarks in the
+#      plain (Release) tree, compared against the committed BENCH_pr3.json
+#      via tools/bench_compare.py (>10% cpu-time regression fails; see
+#      docs/PERFORMANCE.md).
 #
 # usage: tools/run_ci.sh [build-dir-prefix]
+#        tools/run_ci.sh perf [build-dir-prefix]   # perf smoke only
 #
-#   build-dir-prefix  defaults to ./build-ci; the three trees are
+#   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan.
 #
 # Exits non-zero on the first failing configuration.
 set -euo pipefail
 
+only_perf=0
+if [ "${1:-}" = "perf" ]; then
+  only_perf=1
+  shift
+fi
 prefix="${1:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 source_dir="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,8 +45,37 @@ run_leg() {
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs" $ctest_args)
 }
 
+run_perf() {
+  local build_dir="${prefix}-plain"
+  echo "==== [perf] configure + build (Release)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="" > /dev/null
+  cmake --build "$build_dir" -j "$jobs" --target bench_pattern_eval \
+    bench_fd_check
+  local out
+  out="$(mktemp)"
+  # shellcheck disable=SC2064  # expand $out now, not at trap time
+  trap "rm -f '$out'" RETURN
+  echo "==== [perf] running allowlisted benchmarks" >&2
+  RTP_BENCH_JSON="$out" "$build_dir/bench/bench_pattern_eval" \
+    --benchmark_filter='(BM_MatchTablesR1|BM_MatchTablesR3|BM_EnumerateR2|BM_EnumerateR3)/4096$' \
+    --benchmark_min_time=0.1 >&2
+  RTP_BENCH_JSON="$out" "$build_dir/bench/bench_fd_check" \
+    --benchmark_filter='(BM_CheckFd1|BM_CheckFd2|BM_CheckFd3|BM_CheckFd5)/4096$' \
+    --benchmark_min_time=0.1 >&2
+  echo "==== [perf] comparing against BENCH_pr3.json" >&2
+  python3 "$source_dir/tools/bench_compare.py" \
+    "$source_dir/BENCH_pr3.json" "$out"
+}
+
+if [ "$only_perf" = 1 ]; then
+  run_perf
+  echo "==== perf leg passed" >&2
+  exit 0
+fi
+
 run_leg plain      ""                  ""
 run_leg asan-ubsan "address,undefined" ""
 run_leg tsan       "thread"            "-L exec"
+run_perf
 
 echo "==== all CI legs passed" >&2
