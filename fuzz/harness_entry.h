@@ -1,0 +1,33 @@
+#ifndef RTP_FUZZ_HARNESS_ENTRY_H_
+#define RTP_FUZZ_HARNESS_ENTRY_H_
+
+// Defines the two C entry points a fuzz target exports:
+//
+//   LLVMFuzzerTestOneInput  — one execution of the harness body
+//   LLVMFuzzerCustomMutator — grammar-aware mutation (libFuzzer picks it
+//                             up automatically; the standalone driver in
+//                             standalone_driver.cc calls it explicitly)
+//
+// Each fuzz_<name>.cc expands RTP_DEFINE_FUZZ_TARGET with its harness
+// enumerator; the actual logic lives in src/fuzz/harness.cc so the exact
+// same code also runs under tests/fuzz_corpus_test.cc.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+#include "fuzz/mutators.h"
+
+#define RTP_DEFINE_FUZZ_TARGET(HARNESS)                                     \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) { \
+    return rtp::fuzz::RunHarnessInput(rtp::fuzz::Harness::HARNESS, data,    \
+                                      size);                                \
+  }                                                                         \
+  extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,     \
+                                            size_t max_size,                \
+                                            unsigned int seed) {            \
+    return rtp::fuzz::GrammarAwareMutate(rtp::fuzz::Harness::HARNESS, data, \
+                                         size, max_size, seed);             \
+  }
+
+#endif  // RTP_FUZZ_HARNESS_ENTRY_H_

@@ -1,0 +1,53 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rtp::fuzz {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) return InternalError("read error on '" + path + "'");
+  return std::move(out).str();
+}
+
+StatusOr<std::vector<CorpusEntry>> LoadCorpus(const std::string& corpus_dir) {
+  std::error_code ec;
+  if (!fs::is_directory(corpus_dir, ec)) {
+    return NotFoundError("corpus directory '" + corpus_dir +
+                         "' does not exist");
+  }
+  std::vector<CorpusEntry> entries;
+  for (const fs::directory_entry& sub : fs::directory_iterator(corpus_dir)) {
+    if (!sub.is_directory()) continue;
+    std::string name = sub.path().filename().string();
+    StatusOr<Harness> harness = HarnessByName(name);
+    if (!harness.ok()) {
+      return InvalidArgumentError("corpus subdirectory '" + name +
+                                  "' matches no harness: " +
+                                  harness.status().message());
+    }
+    for (const fs::directory_entry& file :
+         fs::recursive_directory_iterator(sub.path())) {
+      if (!file.is_regular_file()) continue;
+      RTP_ASSIGN_OR_RETURN(std::string bytes,
+                           ReadFileBytes(file.path().string()));
+      entries.push_back(
+          CorpusEntry{file.path().string(), *harness, std::move(bytes)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.path < b.path;
+            });
+  return entries;
+}
+
+}  // namespace rtp::fuzz

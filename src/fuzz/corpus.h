@@ -1,0 +1,30 @@
+#ifndef RTP_FUZZ_CORPUS_H_
+#define RTP_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/harness.h"
+
+namespace rtp::fuzz {
+
+// One committed corpus input: fuzz/corpus/<harness-name>/<file>.
+struct CorpusEntry {
+  std::string path;  // absolute path of the file
+  Harness harness;
+  std::string bytes;
+};
+
+// Reads a whole file.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+// Loads every entry under `corpus_dir` (layout: one subdirectory per
+// harness name; unknown subdirectories are an error, so a typo cannot
+// silently drop coverage). Entries are sorted by path for deterministic
+// replay order.
+StatusOr<std::vector<CorpusEntry>> LoadCorpus(const std::string& corpus_dir);
+
+}  // namespace rtp::fuzz
+
+#endif  // RTP_FUZZ_CORPUS_H_

@@ -1,0 +1,44 @@
+#ifndef RTP_FUZZ_HARNESS_H_
+#define RTP_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtp::fuzz {
+
+// One enum value per fuzz target. The same bodies run under three drivers:
+// the libFuzzer entry points in fuzz/fuzz_*.cc, the standalone driver
+// (fuzz/standalone_driver.cc, used where the toolchain lacks libFuzzer)
+// and the deterministic corpus replay in tests/fuzz_corpus_test.cc.
+enum class Harness : uint8_t {
+  kRegex,         // regex parser + dense-vs-map DFA differential
+  kPattern,       // pattern DSL parser + writer round-trip + eval oracle
+  kSchema,        // schema DSL parser + generator-vs-validator oracle
+  kXml,           // XML parser + serializer round-trip
+  kDifferential,  // bytes -> seed -> full RunOracleBattery
+};
+
+struct HarnessInfo {
+  Harness harness;
+  // Name doubles as the corpus subdirectory: fuzz/corpus/<name>/.
+  const char* name;
+};
+
+const std::vector<HarnessInfo>& AllHarnesses();
+const char* HarnessName(Harness harness);
+StatusOr<Harness> HarnessByName(std::string_view name);
+
+// Runs one input through one harness. Never rejects input: malformed bytes
+// must surface as Status errors inside the library, and any oracle
+// disagreement or invariant violation aborts via RTP_CHECK so the fuzzing
+// driver (or sanitizer) reports it as a crash. Returns 0, the value
+// LLVMFuzzerTestOneInput expects.
+int RunHarnessInput(Harness harness, const uint8_t* data, size_t size);
+
+}  // namespace rtp::fuzz
+
+#endif  // RTP_FUZZ_HARNESS_H_

@@ -1,0 +1,23 @@
+#ifndef RTP_FUZZ_MUTATORS_H_
+#define RTP_FUZZ_MUTATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+namespace rtp::fuzz {
+
+// Grammar-aware mutation for `LLVMFuzzerCustomMutator` (and the standalone
+// driver's mutation loop): most of the time applies byte-level edits to the
+// current input, but regularly replaces it wholesale with a fresh
+// valid-by-construction text from the harness's generator, so the fuzzer
+// keeps reaching past the parser into the round-trip / differential checks.
+// Writes the mutated input back into `data` (capacity `max_size`) and
+// returns its new length. Deterministic in (harness, input bytes, seed).
+size_t GrammarAwareMutate(Harness harness, uint8_t* data, size_t size,
+                          size_t max_size, unsigned int seed);
+
+}  // namespace rtp::fuzz
+
+#endif  // RTP_FUZZ_MUTATORS_H_

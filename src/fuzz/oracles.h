@@ -1,0 +1,72 @@
+#ifndef RTP_FUZZ_ORACLES_H_
+#define RTP_FUZZ_ORACLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "fd/functional_dependency.h"
+#include "fuzz/small_docs.h"
+#include "pattern/tree_pattern.h"
+#include "schema/schema.h"
+#include "update/update_class.h"
+#include "xml/document.h"
+
+namespace rtp::fuzz {
+
+// Differential oracles: each compares an optimized code path against an
+// independent implementation of the same semantics and returns a non-OK
+// Status describing the first disagreement. They are run from three
+// places — the libFuzzer harnesses (fuzz/), the ctest battery
+// (tests/differential_oracle_test.cc) and the corpus replay test — so a
+// regression in any path trips all of them.
+
+// Dense kernel (DenseDfa + DocIndex match tables) vs the Definition 2
+// literal reference evaluator, as selected-tuple sets.
+Status CheckDenseVsReference(const pattern::TreePattern& pattern,
+                             const xml::Document& doc);
+
+// EvaluateSelectedBatch at `jobs` vs one-document-at-a-time serial calls
+// (bit-identical, order included).
+Status CheckEvalParallelVsSerial(const pattern::TreePattern& pattern,
+                                 const std::vector<const xml::Document*>& docs,
+                                 int jobs);
+
+// CheckFdBatch at `jobs` vs serial CheckFd per document (bit-identical
+// results, violation witnesses included).
+Status CheckFdParallelVsSerial(const fd::FunctionalDependency& fd,
+                               const std::vector<const xml::Document*>& docs,
+                               int jobs);
+
+// Production FD checker (hashed grouping) vs the naive quadratic
+// Definition 5 transcription.
+Status CheckFdVsNaive(const fd::FunctionalDependency& fd,
+                      const xml::Document& doc);
+
+// Automaton-emptiness criterion (CheckIndependence) vs a brute-force
+// small-model enumerator deciding Definition 6 membership per document
+// via IsInCriterionLanguage:
+//   - "independent" must mean no enumerated document lies in L;
+//   - a synthesized conflict candidate must itself lie in L.
+Status CheckCriterionVsBruteForce(const fd::FunctionalDependency& fd,
+                                  const update::UpdateClass& update,
+                                  const schema::Schema* schema,
+                                  Alphabet* alphabet,
+                                  const SmallDocParams& small_docs);
+
+struct OracleOptions {
+  int jobs = 8;             // parallel leg compared against serial
+  uint32_t num_documents = 4;
+  uint32_t max_tree_nodes = 10;
+  uint32_t small_doc_max_nodes = 4;
+};
+
+// Generates a pattern, an FD, an update class and a set of random
+// documents from `seed` and runs every oracle above. One seed = one fully
+// reproducible battery; this is the body of the fuzz_differential harness
+// and of the ctest battery.
+Status RunOracleBattery(uint64_t seed, const OracleOptions& options = {});
+
+}  // namespace rtp::fuzz
+
+#endif  // RTP_FUZZ_ORACLES_H_

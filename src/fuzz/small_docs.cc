@@ -1,0 +1,61 @@
+#include "fuzz/small_docs.h"
+
+namespace rtp::fuzz {
+
+namespace {
+
+struct EnumState {
+  Alphabet* alphabet;
+  const SmallDocParams* params;
+  const std::function<bool(const xml::Document&)>* fn;
+  xml::Document* doc;
+  size_t visited = 0;
+};
+
+// Extends the tree by up to `budget` more nodes. `path` is the rightmost
+// path (root to last added node), restricted to nodes that may take
+// children; a new node may attach under any of them. Returns false once
+// the callback asked to stop.
+bool Extend(EnumState* state, std::vector<xml::NodeId>& path,
+            uint32_t budget) {
+  if (budget == 0) return true;
+  for (size_t k = 0; k < path.size(); ++k) {
+    for (const std::string& label : state->params->labels) {
+      LabelKind kind = Alphabet::KindOf(label);
+      bool leaf = kind != LabelKind::kElement;
+      xml::NodeId child = state->doc->AddChild(
+          path[k], label,
+          kind == LabelKind::kText
+              ? xml::NodeType::kText
+              : (kind == LabelKind::kAttribute ? xml::NodeType::kAttribute
+                                               : xml::NodeType::kElement),
+          leaf ? state->params->leaf_value : "");
+      ++state->visited;
+      if (!(*state->fn)(*state->doc)) return false;
+      // New rightmost path: the ancestors of `child` up to path[k], plus
+      // child itself when it may have children of its own.
+      std::vector<xml::NodeId> next(path.begin(), path.begin() + k + 1);
+      if (!leaf) next.push_back(child);
+      if (!Extend(state, next, budget - 1)) return false;
+      state->doc->DetachSubtree(child);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t ForEachSmallDocument(
+    Alphabet* alphabet, const SmallDocParams& params,
+    const std::function<bool(const xml::Document&)>& fn) {
+  xml::Document doc(alphabet);
+  EnumState state{alphabet, &params, &fn, &doc};
+  ++state.visited;
+  if (fn(doc)) {
+    std::vector<xml::NodeId> path = {doc.root()};
+    Extend(&state, path, params.max_nodes);
+  }
+  return state.visited;
+}
+
+}  // namespace rtp::fuzz

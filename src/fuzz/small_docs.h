@@ -1,0 +1,44 @@
+#ifndef RTP_FUZZ_SMALL_DOCS_H_
+#define RTP_FUZZ_SMALL_DOCS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "xml/document.h"
+
+namespace rtp::fuzz {
+
+// Exhaustive small-model enumeration: every ordered labeled tree over a
+// fixed label pool, up to a node budget. This is the brute-force side of
+// the criterion differential oracle — Definition 6 membership is decided
+// per document by pattern evaluation (IsInCriterionLanguage) and compared
+// against the automaton-emptiness verdict of CheckIndependence, which
+// quantifies over *all* documents; any small member the emptiness check
+// missed is a bug in one of the two paths.
+struct SmallDocParams {
+  // Node labels; "#text" and "@..." entries become value-carrying leaves.
+  std::vector<std::string> labels = {"l0", "l1", "l2"};
+  // Maximum number of non-root nodes. Tree count is Catalan(n) * k^n per
+  // size n, so keep this <= 5.
+  uint32_t max_nodes = 4;
+  // Value given to text/attribute leaves (values are irrelevant to
+  // Definition 6 membership, which only quantifies over traces).
+  std::string leaf_value = "v";
+};
+
+// Invokes `fn` exactly once per ordered labeled tree with at most
+// `max_nodes` non-root nodes (the empty document included). Uniqueness
+// comes from preorder insertion: each new node attaches to a node on the
+// rightmost path, so every tree is produced by exactly one insertion
+// sequence. `fn` returns false to stop early. Returns the number of
+// documents visited.
+size_t ForEachSmallDocument(
+    Alphabet* alphabet, const SmallDocParams& params,
+    const std::function<bool(const xml::Document&)>& fn);
+
+}  // namespace rtp::fuzz
+
+#endif  // RTP_FUZZ_SMALL_DOCS_H_

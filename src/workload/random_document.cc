@@ -89,6 +89,7 @@ class Generator {
           "' recursion does not terminate with minimal content)");
     }
     NodeId node = doc->AddElement(parent, label);
+    ++nodes_emitted_;
     auto model_it = schema_.content_models().find(label);
     RTP_CHECK(model_it != schema_.content_models().end());
     const regex::Dfa& dfa = model_it->second;
@@ -98,12 +99,14 @@ class Generator {
                                      "' accepts no word");
     }
 
-    bool minimal = depth >= params_.max_depth;
     int32_t state = dfa.initial();
     size_t emitted = 0;
     while (true) {
-      bool must_finish =
-          minimal || emitted >= params_.soft_max_children;
+      // The node budget is rechecked every step: a recursive child may
+      // have exhausted it mid-word.
+      bool must_finish = depth >= params_.max_depth ||
+                         nodes_emitted_ >= params_.max_total_nodes ||
+                         emitted >= params_.soft_max_children;
       if (must_finish) {
         if (dfa.accepting(state)) break;
         RTP_RETURN_IF_ERROR(
@@ -150,6 +153,7 @@ class Generator {
   const RandomDocumentParams& params_;
   std::mt19937_64 rng_;
   std::map<std::string, DfaNavigation> navigation_;
+  size_t nodes_emitted_ = 0;
 };
 
 }  // namespace

@@ -20,6 +20,12 @@ struct RandomDocumentParams {
   // generator then fails rather than recursing forever.
   size_t max_depth = 24;
   size_t hard_depth_limit = 64;
+  // Global node budget — the width analogue of max_depth. A recursive
+  // schema with branching content (say e0 -> e0/e0) keeps every branch
+  // within max_depth yet grows the tree exponentially wide; once the
+  // budget is crossed, all remaining content words are forced minimal.
+  // Documents that stay under the budget are generated bit-identically.
+  size_t max_total_nodes = 1 << 20;
   // Leaf values are drawn from {v0, ..., v<value_pool-1>}; a small pool
   // creates the value collisions functional dependencies care about.
   uint32_t value_pool = 3;

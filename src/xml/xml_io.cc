@@ -142,7 +142,16 @@ class Parser {
         }
         if (!all_space) {
           RTP_ASSIGN_OR_RETURN(std::string text, DecodeText(raw));
-          doc_.AddText(element, text);
+          // Adjacent runs merge even when a comment or PI split the raw
+          // text, keeping "adjacent text runs merge" a real invariant
+          // (serializing two sibling text nodes would concatenate them,
+          // so round-tripping would otherwise change the tree).
+          NodeId last = doc_.last_child(element);
+          if (last != kInvalidNode && doc_.type(last) == NodeType::kText) {
+            doc_.set_value(last, doc_.value(last) + text);
+          } else {
+            doc_.AddText(element, text);
+          }
         }
       }
       if (Eof()) return ParseError("unterminated element <" + name + ">");
@@ -162,6 +171,16 @@ class Parser {
         size_t end = input_.find("-->", pos_ + 4);
         if (end == std::string_view::npos) return ParseError("unterminated comment");
         pos_ = end + 3;
+        continue;
+      }
+      // Processing instructions are skipped in content, same as at
+      // document level.
+      if (StartsWith("<?")) {
+        size_t end = input_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) {
+          return ParseError("unterminated processing instruction");
+        }
+        pos_ = end + 2;
         continue;
       }
       RTP_RETURN_IF_ERROR(ParseElement(element));
@@ -216,18 +235,22 @@ void WriteElement(const Document& doc, NodeId n, bool indent, int depth,
     return;
   }
   out->push_back('>');
-  bool text_only = content.size() == 1 && doc.type(content[0]) == NodeType::kText;
-  if (!text_only && indent) out->push_back('\n');
+  // Any whitespace the pretty-printer inserts next to a text run merges
+  // into that run's value on reparse, so content with text children —
+  // text-only and mixed alike — is written inline, without indentation.
+  bool has_text = false;
+  for (NodeId c : content) {
+    if (doc.type(c) == NodeType::kText) has_text = true;
+  }
+  if (!has_text && indent) out->push_back('\n');
   for (NodeId c : content) {
     if (doc.type(c) == NodeType::kText) {
-      if (!text_only) pad(depth + 1);
       EncodeInto(doc.value(c), /*attribute=*/false, out);
-      if (!text_only && indent) out->push_back('\n');
     } else {
-      WriteElement(doc, c, indent, depth + 1, out);
+      WriteElement(doc, c, indent && !has_text, depth + 1, out);
     }
   }
-  if (!text_only) pad(depth);
+  if (!has_text) pad(depth);
   out->append("</");
   out->append(doc.label_name(n));
   out->push_back('>');

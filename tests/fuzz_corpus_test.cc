@@ -1,0 +1,54 @@
+// Replays the committed fuzz corpus (fuzz/corpus/<harness>/*) through the
+// harness bodies in the regular test build, so every corpus entry — in
+// particular regression inputs distilled from past crashes — runs on each
+// ctest invocation, not only when the fuzz leg is built. The CI
+// asan-ubsan leg runs this same binary under sanitizers, which covers the
+// "replay under ASan/UBSan" requirement without a separate build.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/harness.h"
+
+namespace rtp {
+namespace {
+
+std::vector<fuzz::CorpusEntry> LoadOrDie() {
+  auto entries = fuzz::LoadCorpus(RTP_FUZZ_CORPUS_DIR);
+  if (!entries.ok()) {
+    ADD_FAILURE() << entries.status().ToString();
+    return {};
+  }
+  return *std::move(entries);
+}
+
+TEST(FuzzCorpusTest, EveryHarnessHasSeedEntries) {
+  std::map<fuzz::Harness, int> per_harness;
+  for (const fuzz::CorpusEntry& entry : LoadOrDie()) {
+    ++per_harness[entry.harness];
+  }
+  for (const fuzz::HarnessInfo& info : fuzz::AllHarnesses()) {
+    EXPECT_GT(per_harness[info.harness], 0)
+        << "no corpus entries under fuzz/corpus/" << info.name << "/";
+  }
+}
+
+TEST(FuzzCorpusTest, ReplayAllEntries) {
+  std::vector<fuzz::CorpusEntry> entries = LoadOrDie();
+  ASSERT_FALSE(entries.empty());
+  for (const fuzz::CorpusEntry& entry : entries) {
+    SCOPED_TRACE(entry.path);
+    // Any harness invariant violation aborts via RTP_CHECK, which gtest
+    // reports as a crash of this test.
+    EXPECT_EQ(0, fuzz::RunHarnessInput(
+                     entry.harness,
+                     reinterpret_cast<const uint8_t*>(entry.bytes.data()),
+                     entry.bytes.size()));
+  }
+}
+
+}  // namespace
+}  // namespace rtp

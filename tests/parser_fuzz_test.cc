@@ -1,13 +1,16 @@
-// Robustness fuzzing of every textual front end: random byte soup and
-// mutated valid inputs must produce Status errors, never crashes, and
-// accepted inputs must be usable.
+// Robustness fuzzing of every textual front end, driven by the seeded
+// rtp::fuzz generators: byte soup and mutated valid inputs must produce
+// Status errors, never crashes, and generator output — valid by
+// construction — must actually parse. The same generators feed the fuzz/
+// harnesses; this test is the cheap always-on subset.
 
 #include <gtest/gtest.h>
 
-#include <random>
 #include <string>
 
 #include "fd/path_fd.h"
+#include "fuzz/generators.h"
+#include "fuzz/rng.h"
 #include "pattern/pattern_parser.h"
 #include "regex/regex.h"
 #include "schema/schema.h"
@@ -17,44 +20,13 @@
 namespace rtp {
 namespace {
 
-std::string RandomBytes(std::mt19937_64* rng, size_t max_len) {
-  static constexpr char kChars[] =
-      "abcXYZ019 \t\n(){};[]|/*+?=@#<>&\"'-_.,!";
-  size_t len = (*rng)() % (max_len + 1);
-  std::string out;
-  out.reserve(len);
-  for (size_t i = 0; i < len; ++i) {
-    out.push_back(kChars[(*rng)() % (sizeof(kChars) - 1)]);
-  }
-  return out;
-}
-
-std::string Mutate(std::string_view base, std::mt19937_64* rng) {
-  std::string out(base);
-  size_t edits = 1 + (*rng)() % 4;
-  for (size_t i = 0; i < edits && !out.empty(); ++i) {
-    size_t pos = (*rng)() % out.size();
-    switch ((*rng)() % 3) {
-      case 0:
-        out.erase(pos, 1);
-        break;
-      case 1:
-        out.insert(pos, 1, static_cast<char>('!' + (*rng)() % 90));
-        break;
-      default:
-        out[pos] = static_cast<char>('!' + (*rng)() % 90);
-    }
-  }
-  return out;
-}
-
 class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
-  std::mt19937_64 rng(GetParam());
+  fuzz::Rng rng(GetParam());
   for (int i = 0; i < 40; ++i) {
     Alphabet alphabet;
-    std::string input = RandomBytes(&rng, 60);
+    std::string input = fuzz::GenerateRandomBytes(&rng, 60);
     // Each parser either errors out or produces a usable object.
     auto re = regex::Regex::Parse(&alphabet, input);
     if (re.ok()) (void)re->IsProper();
@@ -71,28 +43,59 @@ TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
   }
 }
 
-TEST_P(ParserFuzzTest, MutatedValidInputsSurvive) {
-  std::mt19937_64 rng(GetParam() + 7777);
-  constexpr std::string_view kPattern = R"(
-    root { c = session { x = candidate/exam { p = mark; q = rank; } } }
-    select p, q;
-    context c;
-  )";
-  constexpr std::string_view kSchema = R"(
-    schema { root a; element a { b* } element b { #text } }
-  )";
-  constexpr std::string_view kXml =
-      "<a x=\"1\"><b>t</b><c/><d>u&amp;v</d></a>";
-  constexpr std::string_view kPathFd = "(/s, (a/b, c) -> d[N])";
-  constexpr std::string_view kXPath = "/a/b[c]//d | //e/@f";
-
-  for (int i = 0; i < 40; ++i) {
+TEST_P(ParserFuzzTest, GeneratedInputsParse) {
+  fuzz::Rng rng(GetParam() * 31 + 5);
+  fuzz::TextGenParams params;
+  for (int i = 0; i < 25; ++i) {
     Alphabet alphabet;
-    (void)pattern::ParsePattern(&alphabet, Mutate(kPattern, &rng));
-    (void)schema::Schema::Parse(&alphabet, Mutate(kSchema, &rng));
-    (void)xml::ParseXml(&alphabet, Mutate(kXml, &rng));
-    (void)fd::ParsePathFd(Mutate(kPathFd, &rng));
-    (void)xpath::CompileXPath(&alphabet, Mutate(kXPath, &rng));
+
+    std::string regex_text = fuzz::GenerateRegexText(&rng, params);
+    auto re = regex::Regex::Parse(&alphabet, regex_text);
+    ASSERT_TRUE(re.ok()) << regex_text << "\n" << re.status().ToString();
+
+    std::string pattern_text =
+        fuzz::GeneratePatternDslText(&rng, params, /*with_context=*/i % 2);
+    auto pat = pattern::ParsePattern(&alphabet, pattern_text);
+    ASSERT_TRUE(pat.ok()) << pattern_text << "\n" << pat.status().ToString();
+    EXPECT_TRUE(pat->pattern.Validate().ok()) << pattern_text;
+    EXPECT_FALSE(pat->pattern.selected().empty()) << pattern_text;
+    if (i % 2) EXPECT_TRUE(pat->context.has_value()) << pattern_text;
+
+    std::string schema_text = fuzz::GenerateSchemaDslText(&rng, params);
+    auto sch = schema::Schema::Parse(&alphabet, schema_text);
+    ASSERT_TRUE(sch.ok()) << schema_text << "\n" << sch.status().ToString();
+
+    std::string xml_text = fuzz::GenerateXmlText(&rng, params);
+    auto xml = xml::ParseXml(&alphabet, xml_text);
+    ASSERT_TRUE(xml.ok()) << xml_text << "\n" << xml.status().ToString();
+
+    std::string path_fd_text = fuzz::GeneratePathFdText(&rng, params);
+    auto pfd = fd::ParsePathFd(path_fd_text);
+    ASSERT_TRUE(pfd.ok()) << path_fd_text << "\n" << pfd.status().ToString();
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidInputsSurvive) {
+  fuzz::Rng rng(GetParam() + 7777);
+  fuzz::TextGenParams params;
+  for (int i = 0; i < 25; ++i) {
+    Alphabet alphabet;
+    (void)pattern::ParsePattern(
+        &alphabet,
+        fuzz::MutateBytes(fuzz::GeneratePatternDslText(&rng, params), &rng));
+    (void)schema::Schema::Parse(
+        &alphabet,
+        fuzz::MutateBytes(fuzz::GenerateSchemaDslText(&rng, params), &rng));
+    (void)xml::ParseXml(
+        &alphabet,
+        fuzz::MutateBytes(fuzz::GenerateXmlText(&rng, params), &rng));
+    (void)fd::ParsePathFd(
+        fuzz::MutateBytes(fuzz::GeneratePathFdText(&rng, params), &rng));
+    auto re = regex::Regex::Parse(
+        &alphabet,
+        fuzz::MutateBytes(fuzz::GenerateRegexText(&rng, params), &rng));
+    if (re.ok()) (void)re->IsProper();
+    (void)xpath::CompileXPath(&alphabet, "/a/b[c]//d | //e/@f");
   }
 }
 

@@ -34,20 +34,40 @@ DEFAULT_ALLOWLIST = [
 ]
 
 
-def load(path, prefer_run=None):
-    """bench name -> cpu_time; prefers lines whose "run" == prefer_run."""
+def load(path, prefer_run=None, role="input"):
+    """bench name -> cpu_time; prefers lines whose "run" == prefer_run.
+
+    Exits with a one-line diagnostic (no traceback) when the file is
+    missing or malformed: a vanished baseline should read as a CI setup
+    problem, not a Python crash.
+    """
     times, tagged = {}, {}
-    with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            d = json.loads(line)
-            name, cpu = d["bench"], float(d["cpu_time"])
-            if prefer_run is not None and d.get("run") == prefer_run:
-                tagged[name] = cpu
-            else:
-                times[name] = cpu
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    d = json.loads(line)
+                    name, cpu = d["bench"], float(d["cpu_time"])
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError) as e:
+                    sys.exit(
+                        f"error: {path}:{lineno}: not a bench result line "
+                        f'(need one JSON object with "bench" and '
+                        f'"cpu_time" per line): {e}')
+                if prefer_run is not None and d.get("run") == prefer_run:
+                    tagged[name] = cpu
+                else:
+                    times[name] = cpu
+    except OSError as e:
+        hint = (" — regenerate it with tools/run_benches.sh"
+                if role == "baseline" else "")
+        sys.exit(f"error: cannot read {role} file {path}: "
+                 f"{e.strerror or e}{hint}")
+    if not times and not tagged:
+        sys.exit(f"error: {role} file {path} contains no bench results")
     times.update(tagged)
     return times
 
@@ -67,17 +87,24 @@ def main():
         help='preferred "run" tag in the baseline (default "after")')
     args = parser.parse_args()
 
-    baseline = load(args.baseline, prefer_run=args.baseline_run)
-    current = load(args.current)
+    baseline = load(args.baseline, prefer_run=args.baseline_run,
+                    role="baseline")
+    current = load(args.current, role="current")
     allowlist = args.bench if args.bench else DEFAULT_ALLOWLIST
 
     failures = []
     for name in allowlist:
         if name not in baseline:
-            failures.append(f"{name}: missing from baseline {args.baseline}")
+            failures.append(
+                f"{name}: missing from baseline {args.baseline} — the "
+                f"benchmark vanished or was renamed; update the allowlist "
+                f"(--bench / DEFAULT_ALLOWLIST) or the baseline file")
             continue
         if name not in current:
-            failures.append(f"{name}: missing from current {args.current}")
+            failures.append(
+                f"{name}: missing from current {args.current} — the "
+                f"benchmark vanished or was renamed; update the allowlist "
+                f"(--bench / DEFAULT_ALLOWLIST) if that is intentional")
             continue
         base, cur = baseline[name], current[name]
         change = (cur - base) / base

@@ -1,33 +1,49 @@
 #!/usr/bin/env bash
-# Local CI driver: builds and tests the repo in three configurations,
-# then runs a perf smoke.
+# Local CI driver. Runs one leg or all of them; .github/workflows/ci.yml
+# runs the same legs, one matrix job each, so local and hosted CI cannot
+# drift.
 #
-#   1. plain          Release, no sanitizer         — full ctest suite
-#   2. asan-ubsan     -DRTP_SANITIZE=address,undefined — full ctest suite
-#   3. tsan           -DRTP_SANITIZE=thread         — `ctest -L exec` only:
-#      the exec label marks the concurrency suite (rtp::exec engine,
-#      parallel differential battery, obs counters). TSan slows everything
-#      ~10x and the rest of the suite is single-threaded, so the label
-#      keeps the leg focused on code that actually runs concurrently.
-#   4. perf           one pass over the allowlisted benchmarks in the
-#      plain (Release) tree, compared against the committed BENCH_pr3.json
-#      via tools/bench_compare.py (>10% cpu-time regression fails; see
-#      docs/PERFORMANCE.md).
+#   plain         Release, no sanitizer           — full ctest suite
+#   asan-ubsan    -DRTP_SANITIZE=address,undefined — full ctest suite
+#                 (includes the fuzz-corpus replay test, so every corpus
+#                 entry runs under ASan/UBSan here)
+#   tsan          -DRTP_SANITIZE=thread           — `ctest -L exec` only:
+#                 the exec label marks the concurrency suite (rtp::exec
+#                 engine, parallel differential battery, oracle battery).
+#                 TSan slows everything ~10x and the rest of the suite is
+#                 single-threaded, so the label keeps the leg focused on
+#                 code that actually runs concurrently.
+#   perf          one pass over the allowlisted benchmarks in the plain
+#                 (Release) tree, compared against the committed
+#                 BENCH_pr3.json via tools/bench_compare.py (>10% cpu-time
+#                 regression fails; see docs/PERFORMANCE.md).
+#   fuzz          -DRTP_FUZZ=ON -DRTP_SANITIZE=address,undefined build of
+#                 the fuzz/ harnesses; replays fuzz/corpus/, then fuzzes
+#                 each harness for RTP_FUZZ_SECONDS (default 30) seconds.
+#                 Non-zero on any crash / oracle violation. See
+#                 docs/FUZZING.md.
+#   format        clang-format --dry-run --Werror over src/ tests/ tools/
+#                 fuzz/ (skipped with a notice when clang-format is not
+#                 installed).
 #
-# usage: tools/run_ci.sh [build-dir-prefix]
-#        tools/run_ci.sh perf [build-dir-prefix]   # perf smoke only
+# usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
+#   leg               all (default) | plain | asan-ubsan | tsan | perf |
+#                     fuzz | format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
-#                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan.
+#                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
+#                     <prefix>-fuzz.
 #
-# Exits non-zero on the first failing configuration.
+# Exits non-zero on the first failing leg.
 set -euo pipefail
 
-only_perf=0
-if [ "${1:-}" = "perf" ]; then
-  only_perf=1
-  shift
-fi
+leg="all"
+case "${1:-}" in
+  all|plain|asan-ubsan|tsan|perf|fuzz|format)
+    leg="$1"
+    shift
+    ;;
+esac
 prefix="${1:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 source_dir="$(cd "$(dirname "$0")/.." && pwd)"
@@ -67,15 +83,58 @@ run_perf() {
     "$source_dir/BENCH_pr3.json" "$out"
 }
 
-if [ "$only_perf" = 1 ]; then
-  run_perf
-  echo "==== perf leg passed" >&2
-  exit 0
-fi
+run_fuzz() {
+  local build_dir="${prefix}-fuzz"
+  local seconds="${RTP_FUZZ_SECONDS:-30}"
+  echo "==== [fuzz] configure (RTP_FUZZ=ON, ASan+UBSan)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_FUZZ=ON \
+    -DRTP_SANITIZE="address,undefined" > /dev/null
+  echo "==== [fuzz] build harnesses" >&2
+  cmake --build "$build_dir" -j "$jobs" --target \
+    fuzz_regex fuzz_pattern fuzz_schema fuzz_xml fuzz_differential
+  local scratch
+  scratch="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand $scratch now, not at trap time
+  trap "rm -rf '$scratch'" RETURN
+  local name
+  for name in regex pattern schema xml differential; do
+    echo "==== [fuzz] $name: replay fuzz/corpus/$name" >&2
+    "$build_dir/fuzz/fuzz_$name" -runs=0 "$source_dir/fuzz/corpus/$name"
+    echo "==== [fuzz] $name: ${seconds}s smoke" >&2
+    # The writable corpus dir comes first so new units land in the
+    # scratch dir, never in the repo; the committed corpus only seeds.
+    mkdir -p "$scratch/$name"
+    "$build_dir/fuzz/fuzz_$name" -max_total_time="$seconds" \
+      "$scratch/$name" "$source_dir/fuzz/corpus/$name"
+  done
+}
 
-run_leg plain      ""                  ""
-run_leg asan-ubsan "address,undefined" ""
-run_leg tsan       "thread"            "-L exec"
-run_perf
+run_format() {
+  if ! command -v clang-format > /dev/null 2>&1; then
+    echo "==== [format] clang-format not installed — skipping" >&2
+    return 0
+  fi
+  echo "==== [format] clang-format --dry-run --Werror" >&2
+  (cd "$source_dir" &&
+    find src tests tools fuzz \( -name '*.cc' -o -name '*.h' \) -print0 |
+    xargs -0 clang-format --dry-run --Werror)
+}
 
-echo "==== all CI legs passed" >&2
+case "$leg" in
+  plain)      run_leg plain      ""                  "" ;;
+  asan-ubsan) run_leg asan-ubsan "address,undefined" "" ;;
+  tsan)       run_leg tsan       "thread"            "-L exec" ;;
+  perf)       run_perf ;;
+  fuzz)       run_fuzz ;;
+  format)     run_format ;;
+  all)
+    run_format
+    run_leg plain      ""                  ""
+    run_leg asan-ubsan "address,undefined" ""
+    run_leg tsan       "thread"            "-L exec"
+    run_perf
+    run_fuzz
+    ;;
+esac
+
+echo "==== CI leg(s) '$leg' passed" >&2
