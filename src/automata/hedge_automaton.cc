@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -89,6 +90,7 @@ std::vector<std::vector<StateId>> HedgeAutomaton::Run(
   std::vector<StateId> h_states;  // scratch: current horizontal NFA set
   std::vector<StateId> h_next;
   for (NodeId v : postorder) {
+    if (!guard::KeepGoing()) break;
     LabelId label = doc.label(v);
     std::vector<StateId>& out = assigned[v];
     for (const Transition& t : transitions_) {
@@ -150,6 +152,7 @@ std::optional<std::vector<StateId>> HedgeAutomaton::AcceptedWordOver(
   seen[dfa.initial()] = true;
   int32_t found = -1;
   while (!work.empty()) {
+    if (!guard::KeepGoing()) return std::nullopt;
     int32_t h = work.front();
     work.pop_front();
     if (dfa.accepting(h)) {
@@ -182,10 +185,11 @@ std::vector<std::optional<HedgeAutomaton::Recipe>> HedgeAutomaton::Saturate()
   size_t iterations = 0;
   size_t num_inhabited = 0;
   bool changed = true;
-  while (changed) {
+  while (changed && guard::Ok()) {
     changed = false;
     ++iterations;
     for (size_t i = 0; i < transitions_.size(); ++i) {
+      if (!guard::KeepGoing()) break;
       const Transition& t = transitions_[i];
       if (inhabited[t.target]) continue;
       auto word = AcceptedWordOver(t.horizontal, inhabited);

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "guard/failpoints.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -35,12 +37,19 @@ class Compiler {
 
   HedgeAutomaton Compile() {
     AllocateStates();
+    // A trip during allocation leaves unallocated (-1) state slots, so no
+    // transition may be emitted; the partial automaton is discarded at the
+    // caller's Status boundary either way.
+    if (!guard::Ok()) return std::move(automaton_);
     EmitOutAndCovered();
     for (PatternNodeId w = 1; w < pattern_.NumNodes(); ++w) {
+      if (!guard::KeepGoing()) break;
       EmitPathAndImage(w);
     }
-    EmitRoot();
-    automaton_.AddRootAccepting(root_state_);
+    if (guard::Ok()) {
+      EmitRoot();
+      automaton_.AddRootAccepting(root_state_);
+    }
     return std::move(automaton_);
   }
 
@@ -57,6 +66,11 @@ class Compiler {
     img_state_.resize(pattern_.NumNodes());
     for (PatternNodeId w = 1; w < pattern_.NumNodes(); ++w) {
       int32_t n = pattern_.edge(w).dfa().NumStates();
+      // 2 * n * NumCov() automaton states per pattern node (path + img);
+      // charging per node lets a quota trip before the largest edge's
+      // block is allocated.
+      guard::AccountStates(2 * static_cast<int64_t>(n) * NumCov());
+      if (!guard::Ok()) return;
       path_state_[w].assign(static_cast<size_t>(n) * NumCov(), -1);
       img_state_[w].assign(static_cast<size_t>(n) * NumCov(), -1);
       for (int32_t s = 0; s < n; ++s) {
@@ -121,6 +135,7 @@ class Compiler {
                                                                            : 0;
       regex::Dfa img_horizontal = ImageHorizontal(w, child_cov);
       for (int32_t s = 0; s < dfa.NumStates(); ++s) {
+        if (!guard::KeepGoing()) return;
         // Group label options: explicit keys, then the 'otherwise' bucket.
         const regex::Dfa::State& dstate = dfa.state(s);
         std::vector<LabelId> keys;
@@ -175,6 +190,7 @@ HedgeAutomaton CompilePattern(const TreePattern& pattern, MarkMode mode) {
   RTP_OBS_COUNT("automata.compile.patterns");
   RTP_OBS_SCOPED_TIMER("automata.compile.ns");
   RTP_OBS_TRACE_SPAN("automata.CompilePattern");
+  RTP_FAILPOINT("automata.compile");
   HedgeAutomaton automaton = Compiler(pattern, mode).Compile();
   RTP_OBS_COUNT_N("automata.compile.states_built", automaton.NumStates());
   RTP_OBS_HISTOGRAM_RECORD("automata.compile.total_size",

@@ -3,6 +3,8 @@
 #include <map>
 #include <tuple>
 
+#include "guard/failpoints.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -62,12 +64,17 @@ regex::Dfa ProductHorizontal(const regex::Dfa& ha, const regex::Dfa& hb,
     if (inserted) {
       order.push_back(key);
       states.emplace_back();
+      guard::AccountStates(1);
     }
     return it->second;
   };
 
   int32_t initial = intern({ha.initial(), hb.initial(), 0});
+  // One poll per expanded product state; a trip abandons the tail of
+  // `order`, leaving those states transitionless (callers discard the
+  // automaton through the guard's Status).
   for (size_t i = 0; i < order.size(); ++i) {
+    if (!guard::KeepGoing()) break;
     Key key = order[i];
     bool both_accepting = ha.accepting(key.h1) && hb.accepting(key.h2);
     if (!track_met) {
@@ -115,9 +122,14 @@ HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b) {
   RTP_OBS_COUNT("automata.product.intersections");
   RTP_OBS_SCOPED_TIMER("automata.product.ns");
   RTP_OBS_TRACE_SPAN("automata.Intersect");
+  RTP_FAILPOINT("automata.product");
   int32_t na = a.NumStates();
   int32_t nb = b.NumStates();
   HedgeAutomaton out;
+  // The dense state numbering below requires all na*nb states, so the
+  // quota is charged up front: a huge product trips before allocating.
+  guard::AccountStates(static_cast<int64_t>(na) * nb);
+  if (!guard::Ok()) return out;
   for (StateId qa = 0; qa < na; ++qa) {
     for (StateId qb = 0; qb < nb; ++qb) {
       StateId q = out.AddState(a.mark(qa) && b.mark(qb));
@@ -126,6 +138,7 @@ HedgeAutomaton Intersect(const HedgeAutomaton& a, const HedgeAutomaton& b) {
   }
   size_t guard_pruned = 0;
   for (const auto& ta : a.transitions()) {
+    if (!guard::KeepGoing()) break;
     for (const auto& tb : b.transitions()) {
       std::optional<Guard> guard = Guard::Intersect(ta.guard, tb.guard);
       if (!guard.has_value()) {
@@ -156,9 +169,14 @@ HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b) {
   RTP_OBS_COUNT("automata.product.meet_products");
   RTP_OBS_SCOPED_TIMER("automata.product.ns");
   RTP_OBS_TRACE_SPAN("automata.MeetProduct");
+  RTP_FAILPOINT("automata.product");
   int32_t na = a.NumStates();
   int32_t nb = b.NumStates();
   HedgeAutomaton out;
+  // As in Intersect: dense numbering needs the full na*nb*2 state block,
+  // so charge the quota before allocating it.
+  guard::AccountStates(static_cast<int64_t>(na) * nb * 2);
+  if (!guard::Ok()) return out;
   for (StateId qa = 0; qa < na; ++qa) {
     for (StateId qb = 0; qb < nb; ++qb) {
       for (int m = 0; m < 2; ++m) {
@@ -169,6 +187,7 @@ HedgeAutomaton MeetProduct(const HedgeAutomaton& a, const HedgeAutomaton& b) {
   }
   size_t guard_pruned = 0;
   for (const auto& ta : a.transitions()) {
+    if (!guard::KeepGoing()) break;
     for (const auto& tb : b.transitions()) {
       std::optional<Guard> guard = Guard::Intersect(ta.guard, tb.guard);
       if (!guard.has_value()) {

@@ -20,6 +20,12 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  // Resource statuses: a budget or cancellation cut the work short (see
+  // src/guard/guard.h). These mean "the answer was not computed", never
+  // "the answer is negative".
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
@@ -59,6 +65,9 @@ Status FailedPreconditionError(std::string message);
 Status ParseError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
 
 // Union of a Status and a value of type T. Holds the value exactly when the
 // status is OK. Accessing the value of a non-OK StatusOr aborts the process.

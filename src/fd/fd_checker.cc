@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/hashing.h"
+#include "guard/failpoints.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -63,6 +65,7 @@ CheckResult CheckFdImpl(const FunctionalDependency& fd,
   RTP_OBS_COUNT("fd.check.calls");
   RTP_OBS_SCOPED_TIMER("fd.check.ns");
   RTP_OBS_TRACE_SPAN("fd.CheckFd");
+  RTP_FAILPOINT("fd.check");
   const Document& doc = tables.doc();
   CheckResult result;
   pattern::MappingEnumerator enumerator(tables);
@@ -133,14 +136,22 @@ CheckResult CheckFdImpl(const FunctionalDependency& fd,
 
 CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
                     const CheckOptions& options) {
-  return CheckFdImpl(fd, pattern::MatchTables::Build(fd.pattern(), doc),
-                     options);
+  // The scope must wrap MatchTables::Build too — table construction, not
+  // enumeration, is where large documents spend their budget.
+  guard::OptionalGuardScope scope(options.budget, options.cancel);
+  CheckResult result = CheckFdImpl(
+      fd, pattern::MatchTables::Build(fd.pattern(), doc), options);
+  result.status = guard::CurrentStatus();
+  return result;
 }
 
 CheckResult CheckFd(const FunctionalDependency& fd,
                     const xml::DocIndex& index, const CheckOptions& options) {
-  return CheckFdImpl(fd, pattern::MatchTables::Build(fd.pattern(), index),
-                     options);
+  guard::OptionalGuardScope scope(options.budget, options.cancel);
+  CheckResult result = CheckFdImpl(
+      fd, pattern::MatchTables::Build(fd.pattern(), index), options);
+  result.status = guard::CurrentStatus();
+  return result;
 }
 
 std::vector<CheckResult> CheckFdBatch(
@@ -157,6 +168,12 @@ std::vector<CheckResult> CheckFdBatch(
   }
   std::vector<CheckResult> results(docs.size());
   exec::ParallelFor(pool, docs.size(), [&](size_t i) {
+    // Pre-cancelled items skip the work entirely so a cancelled batch
+    // drains the pool quickly; CheckFd installs the per-document guard.
+    if (options.check.cancel != nullptr && options.check.cancel->cancelled()) {
+      results[i].status = CancelledError("cancelled before check");
+      return;
+    }
     results[i] = CheckFd(fd, *docs[i], options.check);
   });
   return results;

@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "fd/functional_dependency.h"
+#include "guard/guard.h"
 #include "pattern/evaluator.h"
 #include "xml/doc_index.h"
 #include "xml/document.h"
@@ -30,11 +31,20 @@ struct CheckResult {
   // Work counters (benchmark instrumentation).
   size_t num_mappings = 0;
   size_t num_groups = 0;
+  // OK iff the check ran to completion. A resource status (deadline /
+  // quota / cancellation) means `satisfied` is meaningless — a tripped
+  // check reports satisfied=true with the trip recorded here.
+  Status status;
 };
 
 struct CheckOptions {
   // Stop at the first violation (default) or keep counting mappings.
   bool stop_at_first_violation = true;
+  // When limited (or `cancel` is set) the check runs under a GuardContext
+  // covering table construction and enumeration; a trip lands in
+  // CheckResult::status. In CheckFdBatch the budget applies per document.
+  guard::ExecutionBudget budget;
+  guard::CancelToken* cancel = nullptr;
 };
 
 // Checks whether `doc` satisfies `fd` (Definition 5) by enumerating the

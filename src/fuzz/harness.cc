@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "fuzz/oracles.h"
 #include "fuzz/rng.h"
+#include "guard/guard.h"
 #include "pattern/pattern_parser.h"
 #include "pattern/pattern_writer.h"
 #include "regex/regex.h"
@@ -183,8 +184,23 @@ void RunXmlHarness(const uint8_t* data, size_t size) {
 }
 
 void RunDifferentialHarness(const uint8_t* data, size_t size) {
-  Status status = RunOracleBattery(Rng::SeedFromBytes(data, size));
+  uint64_t seed = Rng::SeedFromBytes(data, size);
+  Status status = RunOracleBattery(seed);
   RTP_CHECK_MSG(status.ok(), status.ToString().c_str());
+
+  // Re-run the same battery under a tight random budget: starving the
+  // oracles must only ever surface the guard's resource statuses — never a
+  // bogus differential mismatch from comparing a partial result against a
+  // complete one, and never a crash on a partially built automaton.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  guard::ExecutionBudget budget;
+  budget.max_steps = 1 + static_cast<int64_t>(rng.Below(50'000));
+  budget.max_automaton_states = 1 + static_cast<int64_t>(rng.Below(20'000));
+  guard::GuardContext ctx(budget);
+  guard::ScopedGuard scope(&ctx);
+  Status starved = RunOracleBattery(seed);
+  RTP_CHECK_MSG(starved.ok() || guard::IsResourceStatus(starved),
+                starved.ToString().c_str());
 }
 
 }  // namespace

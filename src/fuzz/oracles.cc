@@ -6,6 +6,7 @@
 #include "fd/fd_checker.h"
 #include "fd/reference_checker.h"
 #include "fuzz/generators.h"
+#include "guard/guard.h"
 #include "fuzz/rng.h"
 #include "independence/criterion.h"
 #include "pattern/evaluator.h"
@@ -70,6 +71,9 @@ Status CheckDenseVsReference(const pattern::TreePattern& pattern,
   std::set<std::vector<xml::NodeId>> reference =
       ReferenceSelectedTuples(pattern, doc);
   if (dense_set != reference) {
+    // A tripped ambient guard means one side ran on partial tables — not a
+    // disagreement. Surface the resource status, never a bogus mismatch.
+    RTP_RETURN_IF_ERROR(guard::CurrentStatus());
     return InternalError(
         "dense vs reference evaluation disagree: dense=" +
         TupleSetSummary(dense_set) + " reference=" +
@@ -90,6 +94,9 @@ Status CheckEvalParallelVsSerial(const pattern::TreePattern& pattern,
   std::vector<std::vector<std::vector<xml::NodeId>>> parallel =
       pattern::EvaluateSelectedBatch(pattern, docs, jobs);
   if (parallel != serial) {
+    // Pool workers do not inherit this thread's guard: a trip makes the
+    // serial side partial while the batch side completed. Not a mismatch.
+    RTP_RETURN_IF_ERROR(guard::CurrentStatus());
     return InternalError(
         "EvaluateSelectedBatch(jobs=" + std::to_string(jobs) +
         ") differs from serial evaluation; pattern:\n" +
@@ -108,6 +115,7 @@ Status CheckFdParallelVsSerial(const fd::FunctionalDependency& fd,
     std::string serial = FdCheckFingerprint(fd::CheckFd(fd, *docs[i]));
     std::string batch = FdCheckFingerprint(parallel[i]);
     if (serial != batch) {
+      RTP_RETURN_IF_ERROR(guard::CurrentStatus());
       return InternalError("CheckFdBatch(jobs=" + std::to_string(jobs) +
                            ") differs from serial CheckFd on document " +
                            std::to_string(i) + ": serial=" + serial +
@@ -122,6 +130,7 @@ Status CheckFdVsNaive(const fd::FunctionalDependency& fd,
   bool fast = fd::CheckFd(fd, doc).satisfied;
   bool naive = fd::ReferenceCheckFd(fd, doc);
   if (fast != naive) {
+    RTP_RETURN_IF_ERROR(guard::CurrentStatus());
     return InternalError(
         std::string("hashed FD checker says ") +
         (fast ? "satisfied" : "violated") +
@@ -141,8 +150,10 @@ Status CheckCriterionVsBruteForce(const fd::FunctionalDependency& fd,
   StatusOr<independence::CriterionResult> result =
       independence::CheckIndependence(fd, update, schema, alphabet, options);
   if (!result.ok()) {
-    // Outside the criterion's fragment (e.g. a selected non-leaf): there
-    // is no verdict to cross-check.
+    // A budget trip is a real outcome the caller must see; anything else
+    // means the pair is outside the criterion's fragment (e.g. a selected
+    // non-leaf) and there is no verdict to cross-check.
+    if (guard::IsResourceStatus(result.status())) return result.status();
     return Status::OK();
   }
   if (result->independent) {
@@ -161,11 +172,13 @@ Status CheckCriterionVsBruteForce(const fd::FunctionalDependency& fd,
       }
       return true;
     });
+    RTP_RETURN_IF_ERROR(guard::CurrentStatus());
     return found;
   }
   if (result->conflict_candidate.has_value() &&
       !independence::IsInCriterionLanguage(*result->conflict_candidate, fd,
                                            update, schema)) {
+    RTP_RETURN_IF_ERROR(guard::CurrentStatus());
     return InternalError(
         "synthesized conflict candidate is not in L per "
         "IsInCriterionLanguage; fd:\n" +

@@ -1,0 +1,64 @@
+#ifndef RTP_GUARD_FAILPOINTS_H_
+#define RTP_GUARD_FAILPOINTS_H_
+
+#include <cstdint>
+#include <string_view>
+
+// Compile-time fault injection for robustness tests.
+//
+// Pipeline code marks named sites with RTP_FAILPOINT("site.name"). In a
+// normal build the macro compiles to nothing. When the tree is configured
+// with -DRTP_FAILPOINTS=ON, a test can arm a site with an action; the next
+// time execution reaches the site (optionally after a number of free hits)
+// the action fires against the guard installed on the current thread —
+// tripping its deadline, state quota, memory budget, or cancellation, or
+// simulating an allocation failure. Sites with no armed action only bump a
+// hit counter.
+//
+// The site catalogue lives in docs/ROBUSTNESS.md. Arming is process-global
+// and mutex-protected; tests disarm everything in their teardown.
+namespace rtp::guard {
+
+enum class FailAction {
+  kNone = 0,
+  kDeadline,   // trip the current guard as DEADLINE_EXCEEDED
+  kStates,     // trip the current guard as RESOURCE_EXHAUSTED (state quota)
+  kMemory,     // trip the current guard as RESOURCE_EXHAUSTED (memory)
+  kCancel,     // trip the current guard as CANCELLED
+  kAllocFail,  // trip the current guard as RESOURCE_EXHAUSTED (allocation)
+};
+
+// True when the failpoint machinery was compiled in (-DRTP_FAILPOINTS=ON).
+// The functions below are callable either way; without the machinery they
+// are inert stubs so tests can compile once and GTEST_SKIP at runtime.
+bool FailpointsCompiledIn();
+
+// Arms `site` to fire `action` after `after_hits` further passes through
+// it (0 = fire on the very next hit). Re-arming replaces the previous
+// action. Firing disarms the site.
+void ArmFailpoint(std::string_view site, FailAction action,
+                  int64_t after_hits = 0);
+
+// Disarms every site and resets all hit counters.
+void DisarmAllFailpoints();
+
+// Total number of times execution passed `site` since the last
+// DisarmAllFailpoints() (counted only in RTP_FAILPOINTS builds).
+int64_t FailpointHits(std::string_view site);
+
+namespace internal {
+// Out-of-line slow path behind RTP_FAILPOINT.
+void FailpointHit(std::string_view site);
+}  // namespace internal
+
+}  // namespace rtp::guard
+
+#ifdef RTP_FAILPOINTS
+#define RTP_FAILPOINT(site) ::rtp::guard::internal::FailpointHit(site)
+#else
+#define RTP_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // RTP_GUARD_FAILPOINTS_H_

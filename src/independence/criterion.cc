@@ -5,6 +5,8 @@
 #include "automata/pattern_compiler.h"
 #include "automata/product.h"
 #include "exec/automaton_cache.h"
+#include "guard/failpoints.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -28,16 +30,24 @@ StatusOr<CriterionResult> CheckIndependence(
         "be a leaf of its template (Section 5)");
   }
 
+  // The scope covers compilation, products and emptiness. Structural
+  // validation above is O(pattern) and stays outside so it keeps its
+  // InvalidArgument code even on a pre-cancelled token.
+  guard::OptionalGuardScope guard_scope(options.budget, options.cancel);
+  RTP_FAILPOINT("independence.criterion");
+
   // Compiled pattern automata, either freshly built or shared through the
   // caller's AutomatonCache (the batch/matrix path compiles each FD and
-  // update class once instead of once per pair).
+  // update class once instead of once per pair). Under an active guard the
+  // cache is bypassed: its build-once contract would permanently memoize
+  // an automaton whose construction a trip cut short.
   std::shared_ptr<const HedgeAutomaton> fd_shared;
   std::shared_ptr<const HedgeAutomaton> u_shared;
   HedgeAutomaton fd_local;
   HedgeAutomaton u_local;
   {
     RTP_OBS_TRACE_SPAN("independence.compile_patterns");
-    if (options.cache != nullptr) {
+    if (options.cache != nullptr && !guard::Active()) {
       fd_shared = options.cache->GetPatternAutomaton(
           fd.pattern(), *alphabet, MarkMode::kTraceAndSelectedSubtrees);
       u_shared = options.cache->GetPatternAutomaton(
@@ -49,6 +59,7 @@ StatusOr<CriterionResult> CheckIndependence(
           CompilePattern(update.pattern(), MarkMode::kSelectedImagesOnly);
     }
   }
+  RTP_RETURN_IF_ERROR(guard::CurrentStatus());
   const HedgeAutomaton& fd_automaton = fd_shared ? *fd_shared : fd_local;
   const HedgeAutomaton& u_automaton = u_shared ? *u_shared : u_local;
   HedgeAutomaton schema_automaton =
@@ -63,6 +74,7 @@ StatusOr<CriterionResult> CheckIndependence(
     meet = automata::MeetProduct(fd_automaton, u_automaton);
     l_automaton = automata::Intersect(meet, a_s);
   }
+  RTP_RETURN_IF_ERROR(guard::CurrentStatus());
 
   CriterionResult result;
   result.fd_automaton_size = fd_automaton.TotalSize();
@@ -73,6 +85,9 @@ StatusOr<CriterionResult> CheckIndependence(
     RTP_OBS_TRACE_SPAN("independence.emptiness");
     result.independent = l_automaton.IsEmptyLanguage();
   }
+  // A trip during emptiness makes `independent` untrustworthy (the
+  // saturation fixpoint may have stopped early); discard the verdict.
+  RTP_RETURN_IF_ERROR(guard::CurrentStatus());
   RTP_OBS_HISTOGRAM_RECORD("independence.criterion.product_size",
                            result.product_size);
   if (result.independent) {

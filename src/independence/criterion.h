@@ -5,6 +5,7 @@
 
 #include "automata/hedge_automaton.h"
 #include "common/status.h"
+#include "guard/guard.h"
 #include "fd/functional_dependency.h"
 #include "schema/schema.h"
 #include "update/update_class.h"
@@ -46,8 +47,15 @@ struct CriterionOptions {
   // Optional shared compile cache: the FD and update-class pattern
   // automata are looked up (and built at most once per pattern) instead of
   // recompiled per check. Safe to share across threads; see
-  // docs/PARALLELISM.md.
+  // docs/PARALLELISM.md. Ignored while a guard is active — the cache's
+  // build-once contract must never memoize a partially built automaton.
   exec::AutomatonCache* cache = nullptr;
+
+  // When limited (or `cancel` is set) the whole check — pattern
+  // compilation, products, emptiness — runs under a GuardContext; a trip
+  // surfaces as the StatusOr's error (one of the three resource codes).
+  guard::ExecutionBudget budget;
+  guard::CancelToken* cancel = nullptr;
 };
 
 // Checks the independence criterion: builds the automaton for

@@ -93,8 +93,12 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
   RTP_OBS_TRACE_SPAN("independence.SearchForImpact");
   ImpactSearchResult result;
   std::mt19937_64 rng(params.seed);
+  // One scope for the whole search: the inner CheckFd / SelectNodes calls
+  // run under this thread-local guard rather than per-call budgets.
+  guard::OptionalGuardScope guard_scope(params.budget, params.cancel);
 
   for (int d = 0; d < params.num_documents; ++d) {
+    if (!guard::KeepGoing()) break;
     workload::RandomDocumentParams doc_params = params.document_params;
     doc_params.seed = rng();
     auto doc_or = workload::GenerateRandomDocument(schema, doc_params);
@@ -114,6 +118,7 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
     if (targets.empty()) continue;
 
     for (int u = 0; u < params.updates_per_document; ++u) {
+      if (!guard::KeepGoing()) break;
       Document mutated = doc.Clone();
       std::vector<NodeId> mutated_targets = update.SelectNodes(mutated);
       // The concrete update u of q = u o U may act differently on each
@@ -150,10 +155,12 @@ ImpactSearchResult SearchForImpact(const fd::FunctionalDependency& fd,
         result.witness = ImpactWitness{
             std::move(doc), std::move(mutated),
             "document " + std::to_string(d) + ", update " + std::to_string(u)};
+        result.status = guard::CurrentStatus();
         return result;
       }
     }
   }
+  result.status = guard::CurrentStatus();
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fd/functional_dependency.h"
+#include "guard/guard.h"
 #include "schema/schema.h"
 #include "update/update_class.h"
 #include "workload/random_document.h"
@@ -24,6 +25,11 @@ struct ImpactSearchParams {
   int updates_per_document = 8;
   uint64_t seed = 7;
   workload::RandomDocumentParams document_params;
+  // When limited (or `cancel` is set) the whole search runs under one
+  // GuardContext; a trip stops the document/update loops and lands in
+  // ImpactSearchResult::status.
+  guard::ExecutionBudget budget;
+  guard::CancelToken* cancel = nullptr;
 };
 
 struct ImpactWitness {
@@ -39,6 +45,10 @@ struct ImpactSearchResult {
   int updates_tried = 0;
   // Documents skipped because they did not satisfy fd to begin with.
   int documents_not_satisfying = 0;
+  // OK iff the search ran to completion. A resource status means the
+  // search stopped early; a witness found before the trip is still a real
+  // impact, but impact_found=false is then inconclusive.
+  Status status;
 };
 
 // `schema` must be non-null: documents are drawn from it. Documents where

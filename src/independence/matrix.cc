@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
@@ -39,7 +40,21 @@ std::string IndependenceMatrix::ToString(
     std::string row = class_names[c];
     row.append(row.size() < 12 ? 12 - row.size() : 1, ' ');
     for (size_t f = 0; f < num_fds; ++f) {
-      const char* cell = at(f, c).independent ? "safe" : "check";
+      const MatrixEntry& e = at(f, c);
+      const char* cell = e.independent ? "safe" : "check";
+      switch (e.status.code()) {
+        case StatusCode::kDeadlineExceeded:
+          cell = "deadline";
+          break;
+        case StatusCode::kResourceExhausted:
+          cell = "resource";
+          break;
+        case StatusCode::kCancelled:
+          cell = "cancelled";
+          break;
+        default:
+          break;
+      }
       row += cell;
       row.append(10 - std::string(cell).size(), ' ');
     }
@@ -66,7 +81,12 @@ StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
   // the winner instead of doing useful work).
   CriterionOptions pair_options;
   pair_options.cache = options.cache;
-  if (options.cache != nullptr) {
+  pair_options.budget = options.budget;
+  pair_options.cancel = options.cancel;
+  const bool guarded = options.budget.Limited() || options.cancel != nullptr;
+  // The criterion bypasses the cache under a guard, so warming it would be
+  // unguarded work for nothing — skip the phase entirely.
+  if (options.cache != nullptr && !guarded) {
     for (const fd::FunctionalDependency* fd : fds) {
       options.cache->GetPatternAutomaton(
           fd->pattern(), *alphabet,
@@ -93,14 +113,27 @@ StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
   exec::ParallelFor(pool, num_pairs, [&](size_t pair) {
     size_t f = pair / classes.size();
     size_t c = pair % classes.size();
+    // A cancelled matrix drains its remaining pairs without running the
+    // criterion; each pair still gets a deterministic per-cell status.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      matrix.entries[pair] = MatrixEntry{
+          f, c, false, 0, CancelledError("cancelled before pair check")};
+      return;
+    }
     StatusOr<CriterionResult> result = CheckIndependence(
         *fds[f], *classes[c], schema, alphabet, pair_options);
     if (!result.ok()) {
-      statuses[pair] = result.status();
+      if (guard::IsResourceStatus(result.status())) {
+        // Per-cell degradation: a budget trip on one pair is not a matrix
+        // failure. independent=false is the conservative verdict.
+        matrix.entries[pair] = MatrixEntry{f, c, false, 0, result.status()};
+      } else {
+        statuses[pair] = result.status();
+      }
       return;
     }
-    matrix.entries[pair] =
-        MatrixEntry{f, c, result->independent, result->product_size};
+    matrix.entries[pair] = MatrixEntry{f, c, result->independent,
+                                       result->product_size, Status::OK()};
   });
   for (Status& status : statuses) {
     if (!status.ok()) return std::move(status);

@@ -18,6 +18,10 @@ struct MatrixEntry {
   size_t class_index = 0;
   bool independent = false;
   int64_t product_size = 0;
+  // OK iff the criterion ran to completion on this pair. A resource
+  // status (deadline / quota / cancellation) leaves independent=false —
+  // the conservative verdict: the FD is rechecked on updates of the class.
+  Status status;
 };
 
 struct IndependenceMatrix {
@@ -51,12 +55,22 @@ struct MatrixOptions {
 
   // Shared compile cache: each FD / update-class automaton is built once
   // and reused across all pairs (and across matrices sharing the cache).
+  // Ignored when a budget or cancel token is configured (the criterion
+  // bypasses the cache under a guard).
   exec::AutomatonCache* cache = nullptr;
+
+  // Per-pair budget: each (fd, class) pair runs under its own
+  // GuardContext, so a pathological pair degrades alone — its entry gets
+  // the resource status and independent=false while cheap pairs complete
+  // normally. The cancel token is shared across pairs.
+  guard::ExecutionBudget budget;
+  guard::CancelToken* cancel = nullptr;
 };
 
 // Runs CheckIndependence for every (fd, class) pair. Fails on the first
 // structural error in row-major pair order (e.g. a non-leaf-selected
-// update class).
+// update class). Resource statuses are NOT whole-matrix failures: they
+// degrade per cell (see MatrixEntry::status).
 //
 // Determinism: the result (entry order, every field, and which error is
 // reported) is byte-identical for every jobs value — each pair writes a

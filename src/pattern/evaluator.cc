@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/hashing.h"
+#include "guard/failpoints.h"
 #include "obs/scoped_timer.h"
 
 namespace rtp::pattern {
@@ -32,6 +33,7 @@ MatchTables MatchTables::BuildImpl(const TreePattern& pattern,
   RTP_OBS_COUNT("pattern.eval.tables_built");
   RTP_OBS_COUNT("pattern.eval.dense.builds");
   RTP_OBS_SCOPED_TIMER("pattern.eval.tables_build_ns");
+  RTP_FAILPOINT("pattern.tables.build");
   MatchTables t;
   t.pattern_ = &pattern;
   t.owned_index_ = std::move(owned);
@@ -51,6 +53,10 @@ MatchTables MatchTables::BuildImpl(const TreePattern& pattern,
   t.node_words_ = (num_template_nodes + 63) / 64;
 
   const size_t arena = index.ArenaSize();
+  // The bitsets are the dominant allocation: arena * (pairs + nodes) bits.
+  guard::AccountMemory(static_cast<int64_t>(arena) *
+                       static_cast<int64_t>(t.pair_words_ + t.node_words_) *
+                       static_cast<int64_t>(sizeof(uint64_t)));
   t.delivers_.assign(arena * t.pair_words_, 0);
   t.realizes_.assign(arena * t.node_words_, 0);
 
@@ -73,7 +79,10 @@ MatchTables MatchTables::BuildImpl(const TreePattern& pattern,
 
   size_t label_skips = 0;
   std::vector<uint64_t> child_or(t.pair_words_);
+  // Tables abandoned mid-postorder stay all-zeroes for unvisited nodes —
+  // structurally valid; callers discard them via guard::CurrentStatus().
   for (NodeId v : index.Postorder()) {
+    if (!guard::KeepGoing()) break;
     std::span<const NodeId> kids = index.Children(v);
 
     // OR of children's delivers bitsets.
@@ -194,15 +203,45 @@ std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
 std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
     const TreePattern& pattern, const std::vector<const Document*>& docs,
     int jobs, exec::ThreadPool* pool) {
+  EvalBatchOptions options;
+  options.jobs = jobs;
+  options.pool = pool;
+  return EvaluateSelectedBatch(pattern, docs, options, nullptr);
+}
+
+std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
+    const TreePattern& pattern, const std::vector<const Document*>& docs,
+    const EvalBatchOptions& options, std::vector<Status>* statuses) {
   RTP_OBS_COUNT("pattern.eval.batches");
+  exec::ThreadPool* pool = options.pool;
   std::optional<exec::ThreadPool> owned_pool;
-  if (pool == nullptr && jobs > 1) {
-    owned_pool.emplace(jobs);
+  if (pool == nullptr && options.jobs > 1) {
+    owned_pool.emplace(options.jobs);
     pool = &*owned_pool;
   }
+  if (statuses != nullptr) statuses->assign(docs.size(), Status::OK());
+  const bool guarded = options.budget.Limited() || options.cancel != nullptr;
   std::vector<std::vector<std::vector<NodeId>>> results(docs.size());
   exec::ParallelFor(pool, docs.size(), [&](size_t i) {
+    if (!guarded) {
+      results[i] = EvaluateSelected(pattern, *docs[i]);
+      return;
+    }
+    // Pool workers do not inherit the caller's thread-local guard; each
+    // document gets its own context so one runaway item trips alone.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      if (statuses != nullptr) {
+        (*statuses)[i] = CancelledError("cancelled before evaluation");
+      }
+      return;  // quick-skip lets the pool drain without touching the doc
+    }
+    guard::GuardContext ctx(options.budget, options.cancel);
+    guard::ScopedGuard scope(&ctx);
     results[i] = EvaluateSelected(pattern, *docs[i]);
+    if (!ctx.ok()) {
+      results[i].clear();  // partial tuples under a trip are meaningless
+      if (statuses != nullptr) (*statuses)[i] = ctx.status();
+    }
   });
   return results;
 }

@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/thread_pool.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "pattern/tree_pattern.h"
 #include "regex/dense_dfa.h"
@@ -163,6 +165,24 @@ std::vector<std::vector<std::vector<xml::NodeId>>> EvaluateSelectedBatch(
     const TreePattern& pattern, const std::vector<const xml::Document*>& docs,
     int jobs = 1, exec::ThreadPool* pool = nullptr);
 
+// Options for the guarded batch overload. The budget applies per document
+// (deadline measured from that document's start), so one pathological
+// document trips alone while the rest of the batch completes; the cancel
+// token is shared, so cancelling drains the whole batch quickly.
+struct EvalBatchOptions {
+  int jobs = 1;
+  exec::ThreadPool* pool = nullptr;  // non-null overrides `jobs`
+  guard::ExecutionBudget budget;     // per document; default unlimited
+  guard::CancelToken* cancel = nullptr;
+};
+
+// Guarded batch evaluation. When `statuses` is non-null it is resized to
+// docs.size(); slot i holds OK iff results[i] is trustworthy, else the
+// resource status that tripped that document (whose result slot is empty).
+std::vector<std::vector<std::vector<xml::NodeId>>> EvaluateSelectedBatch(
+    const TreePattern& pattern, const std::vector<const xml::Document*>& docs,
+    const EvalBatchOptions& options, std::vector<Status>* statuses = nullptr);
+
 // The trace of a mapping: the smallest subtree of the document containing
 // the image of the template (union of the root-to-image paths). Returned
 // sorted by node id.
@@ -200,6 +220,10 @@ size_t MappingEnumerator::ForEach(Fn&& fn) {
 template <typename Fn>
 bool MappingEnumerator::ExpandTasks(size_t task_index, Fn& fn) {
   if (task_index == tasks_.size()) {
+    // One guard step per complete mapping; a trip aborts enumeration and
+    // the caller surfaces guard::CurrentStatus() instead of the partial
+    // tuple set.
+    if (!guard::KeepGoing()) return false;
     ++visited_;
     return fn(static_cast<const Mapping&>(current_));
   }
@@ -246,6 +270,9 @@ bool MappingEnumerator::ForEachEndpoint(xml::NodeId v, PatternNodeId w,
                                         int32_t s, Yield&& yield) {
   const xml::DocIndex& index = tables_.index();
   const regex::DenseDfa& dfa = *tables_.edge_dfa_[w];
+  // Endpoint walks can visit far more nodes than mappings emitted, so
+  // they count guard steps too (deep documents, sparse matches).
+  if (!guard::KeepGoing()) return false;
   int32_t next = dfa.Next(s, index.label(v));
   if (next == regex::kDeadState) return true;
   if (dfa.accepting(next) && tables_.Realizes(v, w)) {

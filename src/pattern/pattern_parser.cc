@@ -99,8 +99,22 @@ class DslParser {
     return it->second;
   }
 
-  // Parses "{ child* }" under `parent`.
+  // Parses "{ child* }" under `parent`. Blocks recurse through ParseChild,
+  // so nesting is capped to keep adversarially deep input off the call
+  // stack (edge regexes have their own cap in the regex parser).
   Status ParseBlock(PatternNodeId parent) {
+    if (++depth_ > kMaxNestingDepth) {
+      return ResourceExhaustedError(
+          "pattern: block nesting depth exceeds " +
+          std::to_string(kMaxNestingDepth) + " at offset " +
+          std::to_string(pos_));
+    }
+    Status status = ParseBlockBody(parent);
+    --depth_;
+    return status;
+  }
+
+  Status ParseBlockBody(PatternNodeId parent) {
     if (!Eat('{')) return Error("expected '{'");
     while (!Eat('}')) {
       if (Eof()) return Error("unterminated '{'");
@@ -181,9 +195,12 @@ class DslParser {
     return Status::OK();
   }
 
+  static constexpr int kMaxNestingDepth = 256;
+
   Alphabet* alphabet_;
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
   ParsedPattern result_;
 };
 

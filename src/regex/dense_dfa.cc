@@ -1,5 +1,6 @@
 #include "regex/dense_dfa.h"
 
+#include "guard/guard.h"
 #include "obs/metrics.h"
 
 namespace rtp::regex {
@@ -27,6 +28,10 @@ DenseDfa DenseDfa::Build(const Dfa& dfa) {
   }
   d.num_columns_ = columns;
 
+  // The dense table is the one allocation here whose size is a product of
+  // input dimensions, so it is the one worth accounting.
+  guard::AccountMemory(static_cast<int64_t>(columns) * d.num_states_ *
+                       static_cast<int64_t>(sizeof(int32_t)));
   d.table_.assign(static_cast<size_t>(columns) * d.num_states_, kDeadState);
   d.accepting_.assign(static_cast<size_t>(d.num_states_), 0);
   for (int32_t s = 0; s < d.num_states_; ++s) {

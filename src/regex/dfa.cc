@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/hashing.h"
+#include "guard/failpoints.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 
 namespace rtp::regex {
@@ -23,6 +25,7 @@ struct VectorHash {
 }  // namespace
 
 Dfa Dfa::FromNfa(const Nfa& nfa) {
+  RTP_FAILPOINT("regex.determinize");
   Dfa dfa;
   std::unordered_map<std::vector<int32_t>, int32_t, VectorHash> ids;
   std::deque<std::vector<int32_t>> work;
@@ -37,6 +40,7 @@ Dfa Dfa::FromNfa(const Nfa& nfa) {
     dfa.states_[id].accepting = acc;
     ids.emplace(set, id);
     work.push_back(std::move(set));
+    guard::AccountStates(1);
     return id;
   };
 
@@ -44,7 +48,12 @@ Dfa Dfa::FromNfa(const Nfa& nfa) {
   nfa.EpsilonClosure(&init);
   dfa.initial_ = intern_set(std::move(init));
 
+  // Subset construction is the classic exponential blowup site; a tripped
+  // guard abandons the remaining worklist. Unexpanded states keep empty
+  // transition maps, which Trim() below handles, and the caller's Status
+  // boundary discards the partial DFA.
   while (!work.empty()) {
+    if (!guard::KeepGoing()) break;
     std::vector<int32_t> set = std::move(work.front());
     work.pop_front();
     int32_t id = ids.at(set);
@@ -181,6 +190,7 @@ Dfa Dfa::Product(const Dfa& a, const Dfa& b, BoolOp op) {
     out.states_[id].accepting = accepting(sa, sb);
     ids.emplace(key, id);
     work.push_back(key);
+    guard::AccountStates(1);
     return id;
   };
 
@@ -188,6 +198,7 @@ Dfa Dfa::Product(const Dfa& a, const Dfa& b, BoolOp op) {
   if (out.initial_ == kDeadState) return EmptyLanguage();
 
   while (!work.empty()) {
+    if (!guard::KeepGoing()) break;
     auto [sa, sb] = work.front();
     work.pop_front();
     int32_t id = ids.at({sa, sb});
@@ -322,7 +333,10 @@ Dfa Dfa::Minimize() const {
   auto class_of = [&](int32_t s) { return s == kDeadState ? -1 : cls[s]; };
 
   bool changed = true;
-  while (changed) {
+  // A trip stops refinement between rounds; the under-refined partition
+  // may merge inequivalent states, so callers must discard the result via
+  // the guard's Status (every guarded boundary does).
+  while (changed && guard::KeepGoing()) {
     changed = false;
     std::map<std::vector<int32_t>, int32_t> sig_ids;
     std::vector<int32_t> new_cls(n);

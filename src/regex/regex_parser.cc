@@ -102,10 +102,20 @@ class RegexParser {
     if (pos_ >= input_.size()) return Error("unexpected end of input");
     char c = input_[pos_];
     if (c == '(') {
+      // Parenthesis nesting is the only recursion in this grammar; cap it
+      // so adversarial input exhausts the budget, not the call stack.
+      if (++depth_ > kMaxNestingDepth) {
+        return ResourceExhaustedError(
+            "regex: nesting depth exceeds " +
+            std::to_string(kMaxNestingDepth) + " at offset " +
+            std::to_string(pos_));
+      }
       ++pos_;
-      RTP_ASSIGN_OR_RETURN(RegexAst inner, ParseUnion());
+      StatusOr<RegexAst> inner = ParseUnion();
+      --depth_;
+      RTP_RETURN_IF_ERROR(inner.status());
       if (!Eat(')')) return Error("expected ')'");
-      return inner;
+      return std::move(inner).value();
     }
     if (!IsLabelStart(c)) {
       return Error(std::string("expected a label, '_' or '(', got '") + c + "'");
@@ -118,9 +128,12 @@ class RegexParser {
     return Sym(alphabet_->Intern(name));
   }
 
+  static constexpr int kMaxNestingDepth = 200;
+
   Alphabet* alphabet_;
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

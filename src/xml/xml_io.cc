@@ -95,7 +95,21 @@ class Parser {
     return out;
   }
 
+  // Element nesting recurses; cap the depth so hostile documents fail with
+  // a Status instead of overflowing the stack.
   Status ParseElement(NodeId parent) {
+    if (++depth_ > kMaxNestingDepth) {
+      return ResourceExhaustedError(
+          "xml: element nesting depth exceeds " +
+          std::to_string(kMaxNestingDepth) + " at offset " +
+          std::to_string(pos_));
+    }
+    Status status = ParseElementBody(parent);
+    --depth_;
+    return status;
+  }
+
+  Status ParseElementBody(NodeId parent) {
     if (Eof() || Peek() != '<') return ParseError("expected '<'");
     ++pos_;
     RTP_ASSIGN_OR_RETURN(std::string name, ParseName());
@@ -187,8 +201,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxNestingDepth = 256;
+
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
   Document doc_;
 };
 

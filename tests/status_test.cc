@@ -27,6 +27,18 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, ResourceStatusesRenderTheirCodeNames) {
+  EXPECT_EQ(DeadlineExceededError("too slow").ToString(),
+            "DEADLINE_EXCEEDED: too slow");
+  EXPECT_EQ(ResourceExhaustedError("too big").ToString(),
+            "RESOURCE_EXHAUSTED: too big");
+  EXPECT_EQ(CancelledError("stop").ToString(), "CANCELLED: stop");
 }
 
 TEST(StatusOrTest, HoldsValue) {

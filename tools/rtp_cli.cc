@@ -20,6 +20,15 @@
 //                        multi-document checkfd/eval); 0 means "one per
 //                        hardware thread". Results are byte-identical for
 //                        every N (default 1: serial).
+//   --deadline-ms=N      wall-clock budget (see src/guard). Batch
+//                        subcommands apply it per work item (per document
+//                        for checkfd/eval, per pair for matrix) and
+//                        degrade those items alone; single-shot commands
+//                        apply it to the whole command and exit 2 with the
+//                        resource status when it trips.
+//   --max-states=N       automaton-state quota per budgeted run.
+//   --max-memory-mb=N    approximate memory budget (evaluation tables,
+//                        dense DFA tables) per budgeted run.
 //
 // checkfd and eval accept several XML files; the documents are processed
 // in parallel under --jobs but reported strictly in command-line order,
@@ -45,6 +54,7 @@
 #include "exec/automaton_cache.h"
 #include "exec/thread_pool.h"
 #include "fd/fd_checker.h"
+#include "guard/guard.h"
 #include "independence/criterion.h"
 #include "independence/matrix.h"
 #include "automata/pattern_compiler.h"
@@ -83,7 +93,13 @@ int Usage(const char* detail = nullptr) {
                "       --trace-out=<file> write chrome://tracing phase "
                "spans\n"
                "       --jobs=N           worker threads for batch "
-               "subcommands (0 = hardware)\n");
+               "subcommands (0 = hardware)\n"
+               "       --deadline-ms=N    wall-clock budget (per work item "
+               "for batch subcommands)\n"
+               "       --max-states=N     automaton-state quota per "
+               "budgeted run\n"
+               "       --max-memory-mb=N  approximate memory budget per "
+               "budgeted run\n");
   return 2;
 }
 
@@ -138,21 +154,31 @@ std::vector<const xml::Document*> DocPointers(
 }
 
 int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
-               const std::vector<std::string>& xml_paths, int jobs) {
+               const std::vector<std::string>& xml_paths, int jobs,
+               const guard::ExecutionBudget& budget) {
   CLI_ASSIGN(fd_text, ReadFile(fd_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, fd_text));
   CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(parsed)));
   CLI_ASSIGN(docs, ParseXmlFiles(alphabet, xml_paths));
   fd::BatchCheckOptions options;
   options.jobs = jobs;
+  options.check.budget = budget;
   std::vector<fd::CheckResult> results =
       fd::CheckFdBatch(fd, DocPointers(docs), options);
   bool all_satisfied = true;
+  bool any_over_budget = false;
   for (size_t d = 0; d < results.size(); ++d) {
     const fd::CheckResult& result = results[d];
-    all_satisfied = all_satisfied && result.satisfied;
     // Single-document invocations keep the historical un-prefixed format.
     if (xml_paths.size() > 1) std::printf("%s: ", xml_paths[d].c_str());
+    if (!result.status.ok()) {
+      // The budget tripped on this document: there is no verdict, which
+      // is neither "satisfied" nor "violated".
+      any_over_budget = true;
+      std::printf("no verdict (%s)\n", result.status.ToString().c_str());
+      continue;
+    }
+    all_satisfied = all_satisfied && result.satisfied;
     std::printf("%s (%zu mappings, %zu groups)\n",
                 result.satisfied ? "satisfied" : "VIOLATED",
                 result.num_mappings, result.num_groups);
@@ -160,17 +186,31 @@ int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
       std::printf("%s", result.violation->Describe(docs[d], fd).c_str());
     }
   }
+  if (any_over_budget) return 2;
   return all_satisfied ? 0 : 1;
 }
 
 int CmdEval(Alphabet* alphabet, const std::string& pattern_path,
-            const std::vector<std::string>& xml_paths, int jobs) {
+            const std::vector<std::string>& xml_paths, int jobs,
+            const guard::ExecutionBudget& budget) {
   CLI_ASSIGN(pattern_text, ReadFile(pattern_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, pattern_text));
   CLI_ASSIGN(docs, ParseXmlFiles(alphabet, xml_paths));
-  auto per_doc =
-      pattern::EvaluateSelectedBatch(parsed.pattern, DocPointers(docs), jobs);
+  pattern::EvalBatchOptions options;
+  options.jobs = jobs;
+  options.budget = budget;
+  std::vector<Status> statuses;
+  auto per_doc = pattern::EvaluateSelectedBatch(parsed.pattern,
+                                                DocPointers(docs), options,
+                                                &statuses);
+  bool any_over_budget = false;
   for (size_t d = 0; d < per_doc.size(); ++d) {
+    if (!statuses[d].ok()) {
+      any_over_budget = true;
+      if (xml_paths.size() > 1) std::printf("%s: ", xml_paths[d].c_str());
+      std::printf("no result (%s)\n", statuses[d].ToString().c_str());
+      continue;
+    }
     const xml::Document& doc = docs[d];
     auto& tuples = per_doc[d];
     // Emit tuples sorted by document order (lexicographic preorder
@@ -198,7 +238,7 @@ int CmdEval(Alphabet* alphabet, const std::string& pattern_path,
       std::printf("\n");
     }
   }
-  return 0;
+  return any_over_budget ? 2 : 0;
 }
 
 int CmdXPath(Alphabet* alphabet, const std::string& query,
@@ -270,7 +310,7 @@ std::string Basename(const std::string& path) {
 
 int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
               const std::string& update_list, const std::string& schema_path,
-              int jobs) {
+              int jobs, const guard::ExecutionBudget& budget) {
   std::vector<std::string> fd_paths = SplitCommaList(fd_list);
   std::vector<std::string> update_paths = SplitCommaList(update_list);
 
@@ -308,6 +348,7 @@ int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
   independence::MatrixOptions options;
   options.jobs = jobs;
   options.cache = &exec::AutomatonCache::Global();
+  options.budget = budget;
   CLI_ASSIGN(matrix,
              independence::ComputeIndependenceMatrix(fd_ptrs, class_ptrs,
                                                      schema, alphabet,
@@ -321,11 +362,18 @@ int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
   }
   std::printf("%s", matrix.ToString(fd_names, class_names).c_str());
   size_t independent = 0;
+  size_t over_budget = 0;
   for (const auto& entry : matrix.entries) {
     if (entry.independent) ++independent;
+    if (!entry.status.ok()) ++over_budget;
   }
   std::printf("%zu/%zu pair(s) independent\n", independent,
               matrix.entries.size());
+  // Tripped pairs already count as not-independent (the conservative
+  // verdict), so the exit code needs no special case for them.
+  if (over_budget > 0) {
+    std::printf("%zu pair(s) over budget\n", over_budget);
+  }
   return independent == matrix.entries.size() ? 0 : 1;
 }
 
@@ -390,37 +438,67 @@ bool WriteOutput(const std::string& path, const std::string& content,
   return true;
 }
 
-int Dispatch(const std::vector<std::string>& args, int jobs) {
+// Runs a single-shot command under the global budget (when one is
+// configured): the whole command shares one GuardContext, and a trip maps
+// to exit code 2 with the resource status on stderr — the command's own
+// output is untrustworthy at that point, whatever it printed.
+template <typename Fn>
+int GuardedRun(const guard::ExecutionBudget& budget, Fn&& fn) {
+  guard::OptionalGuardScope scope(budget, /*cancel=*/nullptr);
+  int code = fn();
+  Status status = guard::CurrentStatus();
+  if (!status.ok()) {
+    // Commands usually surface the trip through their own Status path and
+    // have already printed it; report here only when one claimed success.
+    if (code == 0) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    }
+    return 2;
+  }
+  return code;
+}
+
+int Dispatch(const std::vector<std::string>& args, int jobs,
+             const guard::ExecutionBudget& budget) {
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
   size_t argc = args.size();
   Alphabet alphabet;
   if (cmd == "validate" && argc == 3) {
-    return CmdValidate(&alphabet, args[1], args[2]);
+    return GuardedRun(budget,
+                      [&] { return CmdValidate(&alphabet, args[1], args[2]); });
   }
   if (cmd == "checkfd" && argc >= 3) {
+    // Batch commands apply the budget per work item (inside the batch
+    // API), not ambiently: one runaway document degrades alone.
     return CmdCheckFd(&alphabet, args[1],
-                      {args.begin() + 2, args.end()}, jobs);
+                      {args.begin() + 2, args.end()}, jobs, budget);
   }
   if (cmd == "eval" && argc >= 3) {
-    return CmdEval(&alphabet, args[1], {args.begin() + 2, args.end()}, jobs);
+    return CmdEval(&alphabet, args[1], {args.begin() + 2, args.end()}, jobs,
+                   budget);
   }
   if (cmd == "xpath" && argc == 3) {
-    return CmdXPath(&alphabet, args[1], args[2]);
+    return GuardedRun(budget,
+                      [&] { return CmdXPath(&alphabet, args[1], args[2]); });
   }
   if (cmd == "independent" && (argc == 3 || argc == 4)) {
-    return CmdIndependent(&alphabet, args[1], args[2],
-                          argc == 4 ? args[3] : "");
+    return GuardedRun(budget, [&] {
+      return CmdIndependent(&alphabet, args[1], args[2],
+                            argc == 4 ? args[3] : "");
+    });
   }
   if (cmd == "matrix" && (argc == 3 || argc == 4)) {
     return CmdMatrix(&alphabet, args[1], args[2], argc == 4 ? args[3] : "",
-                     jobs);
+                     jobs, budget);
   }
   if (cmd == "materialize" && argc == 3) {
-    return CmdMaterialize(&alphabet, args[1], args[2]);
+    return GuardedRun(
+        budget, [&] { return CmdMaterialize(&alphabet, args[1], args[2]); });
   }
   if (cmd == "dot" && argc == 3) {
-    return CmdDot(&alphabet, args[1], args[2]);
+    return GuardedRun(budget,
+                      [&] { return CmdDot(&alphabet, args[1], args[2]); });
   }
   bool known = cmd == "validate" || cmd == "checkfd" || cmd == "eval" ||
                cmd == "xpath" || cmd == "independent" || cmd == "matrix" ||
@@ -431,11 +509,21 @@ int Dispatch(const std::vector<std::string>& args, int jobs) {
   return Usage(detail.c_str());
 }
 
+// Parses "<prefix><positive integer>". Returns -1 on malformed input.
+int64_t ParseCountFlag(std::string_view arg, const char* prefix) {
+  std::string value(arg.substr(std::strlen(prefix)));
+  char* end = nullptr;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed <= 0) return -1;
+  return parsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ObsOptions obs_options;
   int jobs = 1;
+  guard::ExecutionBudget budget;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -458,6 +546,22 @@ int main(int argc, char** argv) {
       }
       jobs = parsed == 0 ? exec::ThreadPool::DefaultJobs()
                          : static_cast<int>(parsed);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      budget.deadline_ms = ParseCountFlag(arg, "--deadline-ms=");
+      if (budget.deadline_ms < 0) {
+        return Usage("--deadline-ms requires a positive integer");
+      }
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      budget.max_automaton_states = ParseCountFlag(arg, "--max-states=");
+      if (budget.max_automaton_states < 0) {
+        return Usage("--max-states requires a positive integer");
+      }
+    } else if (arg.rfind("--max-memory-mb=", 0) == 0) {
+      int64_t mb = ParseCountFlag(arg, "--max-memory-mb=");
+      if (mb < 0 || mb > (int64_t{1} << 40)) {
+        return Usage("--max-memory-mb requires a positive integer");
+      }
+      budget.max_memory_bytes = mb << 20;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage(("unknown flag '" + std::string(arg) + "'").c_str());
     } else {
@@ -468,7 +572,7 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session;
   if (!obs_options.trace_file.empty()) trace_session.Start();
 
-  int exit_code = Dispatch(args, jobs);
+  int exit_code = Dispatch(args, jobs, budget);
 
   if (!obs_options.trace_file.empty()) {
     trace_session.Stop();

@@ -15,13 +15,17 @@
 #                 code that actually runs concurrently.
 #   perf          one pass over the allowlisted benchmarks in the plain
 #                 (Release) tree, compared against the committed
-#                 BENCH_pr3.json via tools/bench_compare.py (>10% cpu-time
+#                 BENCH_pr4.json via tools/bench_compare.py (>10% cpu-time
 #                 regression fails; see docs/PERFORMANCE.md).
 #   fuzz          -DRTP_FUZZ=ON -DRTP_SANITIZE=address,undefined build of
 #                 the fuzz/ harnesses; replays fuzz/corpus/, then fuzzes
 #                 each harness for RTP_FUZZ_SECONDS (default 30) seconds.
 #                 Non-zero on any crash / oracle violation. See
 #                 docs/FUZZING.md.
+#   failpoints    -DRTP_FAILPOINTS=ON -DRTP_SANITIZE=address,undefined —
+#                 the guard + status suites with fault injection compiled
+#                 in (the failpoint tests GTEST_SKIP themselves everywhere
+#                 else). See docs/ROBUSTNESS.md.
 #   format        clang-format --dry-run --Werror over src/ tests/ tools/
 #                 fuzz/ (skipped with a notice when clang-format is not
 #                 installed).
@@ -29,17 +33,17 @@
 # usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
 #   leg               all (default) | plain | asan-ubsan | tsan | perf |
-#                     fuzz | format
+#                     fuzz | failpoints | format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
-#                     <prefix>-fuzz.
+#                     <prefix>-fuzz, <prefix>-failpoints.
 #
 # Exits non-zero on the first failing leg.
 set -euo pipefail
 
 leg="all"
 case "${1:-}" in
-  all|plain|asan-ubsan|tsan|perf|fuzz|format)
+  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|format)
     leg="$1"
     shift
     ;;
@@ -78,9 +82,9 @@ run_perf() {
   RTP_BENCH_JSON="$out" "$build_dir/bench/bench_fd_check" \
     --benchmark_filter='(BM_CheckFd1|BM_CheckFd2|BM_CheckFd3|BM_CheckFd5)/4096$' \
     --benchmark_min_time=0.1 >&2
-  echo "==== [perf] comparing against BENCH_pr3.json" >&2
+  echo "==== [perf] comparing against BENCH_pr4.json" >&2
   python3 "$source_dir/tools/bench_compare.py" \
-    "$source_dir/BENCH_pr3.json" "$out"
+    "$source_dir/BENCH_pr4.json" "$out"
 }
 
 run_fuzz() {
@@ -109,6 +113,18 @@ run_fuzz() {
   done
 }
 
+run_failpoints() {
+  local build_dir="${prefix}-failpoints"
+  echo "==== [failpoints] configure (RTP_FAILPOINTS=ON, ASan+UBSan)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_FAILPOINTS=ON \
+    -DRTP_SANITIZE="address,undefined" > /dev/null
+  echo "==== [failpoints] build" >&2
+  cmake --build "$build_dir" -j "$jobs" --target rtp_tests
+  echo "==== [failpoints] ctest -R '(Guard|Status)'" >&2
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" \
+    -R '(Guard|Status)')
+}
+
 run_format() {
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "==== [format] clang-format not installed — skipping" >&2
@@ -126,6 +142,7 @@ case "$leg" in
   tsan)       run_leg tsan       "thread"            "-L exec" ;;
   perf)       run_perf ;;
   fuzz)       run_fuzz ;;
+  failpoints) run_failpoints ;;
   format)     run_format ;;
   all)
     run_format
@@ -134,6 +151,7 @@ case "$leg" in
     run_leg tsan       "thread"            "-L exec"
     run_perf
     run_fuzz
+    run_failpoints
     ;;
 esac
 
