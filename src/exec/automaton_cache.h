@@ -41,6 +41,7 @@
 
 #include "automata/hedge_automaton.h"
 #include "automata/pattern_compiler.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "pattern/tree_pattern.h"
 #include "regex/dense_dfa.h"
@@ -81,6 +82,7 @@ class MemoMap {
       promise.set_value(std::make_shared<const T>(build()));
     } catch (...) {
       RTP_OBS_COUNT("exec.cache.build_failures");
+      RTP_LOG(WARN) << "automaton cache build failed; entry dropped for retry";
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mu_);
       map_.erase(key);  // let a later call retry

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace rtp::exec {
@@ -135,6 +136,7 @@ void ThreadPool::RunTask(std::function<void()>* task) {
     // A throwing task must never take a worker down; parallel algorithms
     // that care (ParallelFor) capture exceptions in their own state.
     RTP_OBS_COUNT("exec.pool.task_exceptions");
+    RTP_LOG(WARN) << "thread pool task threw; exception swallowed by worker";
   }
   RTP_OBS_COUNT("exec.pool.tasks_executed");
 }

@@ -64,7 +64,9 @@ CheckResult CheckFdImpl(const FunctionalDependency& fd,
                         const CheckOptions& options) {
   RTP_OBS_COUNT("fd.check.calls");
   RTP_OBS_SCOPED_TIMER("fd.check.ns");
-  RTP_OBS_TRACE_SPAN("fd.CheckFd");
+  // Enumeration + grouping; table construction runs (and is spanned)
+  // before this via the MatchTables::Build argument.
+  RTP_OBS_TRACE_SPAN("fd.group_and_compare");
   RTP_FAILPOINT("fd.check");
   const Document& doc = tables.doc();
   CheckResult result;
@@ -137,8 +139,11 @@ CheckResult CheckFdImpl(const FunctionalDependency& fd,
 CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
                     const CheckOptions& options) {
   // The scope must wrap MatchTables::Build too — table construction, not
-  // enumeration, is where large documents spend their budget.
+  // enumeration, is where large documents spend their budget. The
+  // ProfileScope sits inside the guard scope so the profile can read the
+  // budget consumption and trip status at close.
   guard::OptionalGuardScope scope(options.budget, options.cancel);
+  obs::ProfileScope prof("fd.CheckFd", options.profile);
   CheckResult result = CheckFdImpl(
       fd, pattern::MatchTables::Build(fd.pattern(), doc), options);
   result.status = guard::CurrentStatus();
@@ -148,6 +153,7 @@ CheckResult CheckFd(const FunctionalDependency& fd, const Document& doc,
 CheckResult CheckFd(const FunctionalDependency& fd,
                     const xml::DocIndex& index, const CheckOptions& options) {
   guard::OptionalGuardScope scope(options.budget, options.cancel);
+  obs::ProfileScope prof("fd.CheckFd", options.profile);
   CheckResult result = CheckFdImpl(
       fd, pattern::MatchTables::Build(fd.pattern(), index), options);
   result.status = guard::CurrentStatus();
@@ -166,6 +172,9 @@ std::vector<CheckResult> CheckFdBatch(
     owned_pool.emplace(options.jobs);
     pool = &*owned_pool;
   }
+  if (options.profiles != nullptr) {
+    options.profiles->assign(docs.size(), obs::QueryProfile());
+  }
   std::vector<CheckResult> results(docs.size());
   exec::ParallelFor(pool, docs.size(), [&](size_t i) {
     // Pre-cancelled items skip the work entirely so a cancelled batch
@@ -174,7 +183,11 @@ std::vector<CheckResult> CheckFdBatch(
       results[i].status = CancelledError("cancelled before check");
       return;
     }
-    results[i] = CheckFd(fd, *docs[i], options.check);
+    CheckOptions item_options = options.check;
+    if (options.profiles != nullptr) {
+      item_options.profile = &(*options.profiles)[i];
+    }
+    results[i] = CheckFd(fd, *docs[i], item_options);
   });
   return results;
 }

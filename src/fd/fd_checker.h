@@ -8,6 +8,7 @@
 #include "exec/thread_pool.h"
 #include "fd/functional_dependency.h"
 #include "guard/guard.h"
+#include "obs/profile.h"
 #include "pattern/evaluator.h"
 #include "xml/doc_index.h"
 #include "xml/document.h"
@@ -45,6 +46,10 @@ struct CheckOptions {
   // CheckResult::status. In CheckFdBatch the budget applies per document.
   guard::ExecutionBudget budget;
   guard::CancelToken* cancel = nullptr;
+  // When non-null, the check runs under an obs::ProfileScope and fills
+  // the profile with phases (pattern.build_tables / fd.group_and_compare),
+  // metric deltas, and guard-budget consumption.
+  obs::QueryProfile* profile = nullptr;
 };
 
 // Checks whether `doc` satisfies `fd` (Definition 5) by enumerating the
@@ -68,6 +73,9 @@ struct BatchCheckOptions {
   // set it is used as-is and `jobs` is ignored.
   int jobs = 1;
   exec::ThreadPool* pool = nullptr;
+  // When non-null, resized to docs.size(); slot i receives document i's
+  // QueryProfile (overrides check.profile, which applies per item).
+  std::vector<obs::QueryProfile>* profiles = nullptr;
 };
 
 // Checks one FD against many documents, one task per document. Results

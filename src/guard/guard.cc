@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace rtp::guard {
@@ -62,6 +63,8 @@ void GuardContext::Trip(StatusCode code, std::string message) {
   trip_message_ = std::move(message);
   tripped_.store(true, std::memory_order_release);
   CountTrip(code);
+  RTP_LOG(DEBUG) << "guard tripped: " << StatusCodeName(code) << ": "
+                 << trip_message_;
 }
 
 void GuardContext::ForceTrip(StatusCode code, std::string message) {

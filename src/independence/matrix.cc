@@ -8,6 +8,15 @@
 
 namespace rtp::independence {
 
+namespace {
+
+std::string PairOp(size_t f, size_t c) {
+  return "independence.matrix[" + std::to_string(f) + "," +
+         std::to_string(c) + "]";
+}
+
+}  // namespace
+
 std::vector<size_t> IndependenceMatrix::FdsToRecheck(
     size_t class_index) const {
   std::vector<size_t> out;
@@ -74,6 +83,9 @@ StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
   matrix.num_classes = classes.size();
   size_t num_pairs = fds.size() * classes.size();
   matrix.entries.resize(num_pairs);
+  if (options.profiles != nullptr) {
+    options.profiles->assign(num_pairs, obs::QueryProfile());
+  }
 
   // Warm the compile cache serially so the shared FD / update automata are
   // built exactly once instead of racing (each would still build once
@@ -113,27 +125,44 @@ StatusOr<IndependenceMatrix> ComputeIndependenceMatrix(
   exec::ParallelFor(pool, num_pairs, [&](size_t pair) {
     size_t f = pair / classes.size();
     size_t c = pair % classes.size();
+    obs::QueryProfile* cell_profile =
+        options.profiles == nullptr ? nullptr : &(*options.profiles)[pair];
     // A cancelled matrix drains its remaining pairs without running the
     // criterion; each pair still gets a deterministic per-cell status.
     if (options.cancel != nullptr && options.cancel->cancelled()) {
-      matrix.entries[pair] = MatrixEntry{
-          f, c, false, 0, CancelledError("cancelled before pair check")};
+      Status cancelled = CancelledError("cancelled before pair check");
+      if (cell_profile != nullptr) {
+        cell_profile->op = PairOp(f, c);
+        cell_profile->status = cancelled.ToString();
+      }
+      matrix.entries[pair] =
+          MatrixEntry{f, c, false, 0, std::move(cancelled)};
       return;
     }
-    StatusOr<CriterionResult> result = CheckIndependence(
-        *fds[f], *classes[c], schema, alphabet, pair_options);
-    if (!result.ok()) {
-      if (guard::IsResourceStatus(result.status())) {
+    std::optional<StatusOr<CriterionResult>> result;
+    {
+      // The criterion installs its own guard (per pair_options), inside
+      // this scope — so the captured spans/deltas cover the whole cell,
+      // while the status is patched in below from the cell's outcome.
+      obs::ProfileScope prof(PairOp(f, c), cell_profile);
+      result.emplace(CheckIndependence(*fds[f], *classes[c], schema,
+                                       alphabet, pair_options));
+    }
+    if (cell_profile != nullptr) {
+      cell_profile->status = result->status().ToString();
+    }
+    if (!result->ok()) {
+      if (guard::IsResourceStatus(result->status())) {
         // Per-cell degradation: a budget trip on one pair is not a matrix
         // failure. independent=false is the conservative verdict.
-        matrix.entries[pair] = MatrixEntry{f, c, false, 0, result.status()};
+        matrix.entries[pair] = MatrixEntry{f, c, false, 0, result->status()};
       } else {
-        statuses[pair] = result.status();
+        statuses[pair] = result->status();
       }
       return;
     }
-    matrix.entries[pair] = MatrixEntry{f, c, result->independent,
-                                       result->product_size, Status::OK()};
+    matrix.entries[pair] = MatrixEntry{f, c, (*result)->independent,
+                                       (*result)->product_size, Status::OK()};
   });
   for (Status& status : statuses) {
     if (!status.ok()) return std::move(status);

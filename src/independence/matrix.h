@@ -7,6 +7,7 @@
 #include "exec/automaton_cache.h"
 #include "exec/thread_pool.h"
 #include "independence/criterion.h"
+#include "obs/profile.h"
 
 namespace rtp::independence {
 
@@ -65,6 +66,13 @@ struct MatrixOptions {
   // normally. The cancel token is shared across pairs.
   guard::ExecutionBudget budget;
   guard::CancelToken* cancel = nullptr;
+
+  // When non-null, resized to fds.size() * classes.size(); the row-major
+  // slot of pair (f, c) receives that cell's QueryProfile — op
+  // "independence.matrix[f,c]", the criterion's phase tree
+  // (compile_patterns / build_product / emptiness / ...), metric deltas,
+  // and the cell's final status.
+  std::vector<obs::QueryProfile>* profiles = nullptr;
 };
 
 // Runs CheckIndependence for every (fd, class) pair. Fails on the first

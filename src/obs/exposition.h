@@ -1,0 +1,50 @@
+#ifndef RTP_OBS_EXPOSITION_H_
+#define RTP_OBS_EXPOSITION_H_
+
+// Registry exposition — snapshots, deltas, and Prometheus text format.
+//
+// TakeSnapshot() copies every registered metric into plain values; two
+// snapshots subtract into a delta (what happened between them); either
+// renders as the DumpJson() JSON shape or as Prometheus text exposition
+// format (version 0.0.4), ready to be served from a /metrics endpoint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rtp::obs {
+
+// A consistent-enough copy of the registry: each metric is read
+// atomically, the set is read under the registry mutex. Entries are
+// sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramDelta>> histograms;
+};
+
+MetricsSnapshot TakeSnapshot();
+
+// after − before. Counters and histogram counts/sums/buckets subtract
+// (metrics absent from `before` count from zero); gauges and histogram
+// min/max are instantaneous, so the delta carries the `after` values.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+// The DumpJson() document shape (schema_version included).
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Prometheus text exposition format. Metric names get an "rtp_" prefix
+// and characters outside [a-zA-Z0-9_:] become '_'; histograms emit
+// cumulative le buckets at the log2 bucket upper bounds plus +Inf, then
+// _sum and _count.
+std::string SnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+// SnapshotToPrometheus(TakeSnapshot()).
+std::string DumpPrometheus();
+
+}  // namespace rtp::obs
+
+#endif  // RTP_OBS_EXPOSITION_H_

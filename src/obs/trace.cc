@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include <chrono>
+
+#include "obs/domain.h"
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -118,13 +120,22 @@ std::string TraceSession::ExportChromeTracing() const {
 }
 
 TraceSpan::TraceSpan(const char* name)
-    : session_(TraceSession::Active()), name_(name) {
+    : session_(TraceSession::Active()),
+      domain_(MetricDomain::Current()),
+      name_(name) {
+  if (domain_ != nullptr) domain_span_ = domain_->OpenSpan(name);
   if (session_ == nullptr) return;
   start_us_ = session_->NowUs();
   depth_ = t_depth++;
 }
 
 TraceSpan::~TraceSpan() {
+  // Close the domain span only if the same domain is still installed:
+  // spans and domains nest lexically in practice, and the check makes a
+  // misnested pair drop a span instead of touching a dead domain.
+  if (domain_ != nullptr && domain_ == MetricDomain::Current()) {
+    domain_->CloseSpan(domain_span_);
+  }
   if (session_ == nullptr) return;
   --t_depth;
   // The session may have been stopped while the span was open; records

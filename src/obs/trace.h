@@ -26,6 +26,8 @@
 
 namespace rtp::obs {
 
+class MetricDomain;
+
 class TraceSession {
  public:
   struct Span {
@@ -70,7 +72,10 @@ class TraceSession {
 };
 
 // RAII span: records [construction, destruction) into the active session,
-// if any. `name` must be a string literal (stored by pointer).
+// if any, and into the innermost MetricDomain installed on this thread,
+// if any — so request-scoped profiles (obs/profile.h) see the same phase
+// structure as whole-process traces. `name` must be a string literal
+// (stored by pointer).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -81,9 +86,11 @@ class TraceSpan {
 
  private:
   TraceSession* session_;  // nullptr when inactive at construction
+  MetricDomain* domain_;   // nullptr when no domain was installed
   const char* name_;
   uint64_t start_us_ = 0;
   int depth_ = 0;
+  int32_t domain_span_ = -1;
 };
 
 }  // namespace rtp::obs

@@ -7,6 +7,7 @@
 #include "common/hashing.h"
 #include "guard/failpoints.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace rtp::pattern {
 
@@ -17,6 +18,9 @@ using xml::NodeId;
 
 MatchTables MatchTables::Build(const TreePattern& pattern,
                                const Document& doc) {
+  // The span covers the snapshot too: for profile consumers "build
+  // tables" means everything up to a ready-to-enumerate state.
+  RTP_OBS_TRACE_SPAN("pattern.build_tables");
   std::shared_ptr<const DocIndex> owned = doc.Snapshot();
   const DocIndex& index = *owned;
   return BuildImpl(pattern, index, std::move(owned));
@@ -24,6 +28,7 @@ MatchTables MatchTables::Build(const TreePattern& pattern,
 
 MatchTables MatchTables::Build(const TreePattern& pattern,
                                const DocIndex& index) {
+  RTP_OBS_TRACE_SPAN("pattern.build_tables");
   return BuildImpl(pattern, index, nullptr);
 }
 
@@ -53,6 +58,10 @@ MatchTables MatchTables::BuildImpl(const TreePattern& pattern,
   t.node_words_ = (num_template_nodes + 63) / 64;
 
   const size_t arena = index.ArenaSize();
+  // Table shape, for profiles: rows = arena slots, columns = summed DFA
+  // states across the pattern's edges.
+  RTP_OBS_COUNT_N("pattern.eval.table_rows", arena);
+  RTP_OBS_COUNT_N("pattern.eval.dense.dfa_states", pairs);
   // The bitsets are the dominant allocation: arena * (pairs + nodes) bits.
   guard::AccountMemory(static_cast<int64_t>(arena) *
                        static_cast<int64_t>(t.pair_words_ + t.node_words_) *
@@ -163,6 +172,7 @@ struct TupleHash {
 
 std::vector<std::vector<NodeId>> EvaluateSelectedImpl(
     const TreePattern& pattern, const MatchTables& tables) {
+  RTP_OBS_TRACE_SPAN("pattern.enumerate");
   MappingEnumerator enumerator(tables);
   std::vector<std::vector<NodeId>> result;
   std::unordered_set<std::vector<NodeId>, TupleHash> seen;
@@ -190,12 +200,26 @@ std::vector<std::vector<NodeId>> EvaluateSelectedImpl(
 
 std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
                                                   const Document& doc) {
+  return EvaluateSelected(pattern, doc, nullptr);
+}
+
+std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
+                                                  const DocIndex& index) {
+  return EvaluateSelected(pattern, index, nullptr);
+}
+
+std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
+                                                  const Document& doc,
+                                                  obs::QueryProfile* profile) {
+  obs::ProfileScope prof("pattern.EvaluateSelected", profile);
   MatchTables tables = MatchTables::Build(pattern, doc);
   return EvaluateSelectedImpl(pattern, tables);
 }
 
 std::vector<std::vector<NodeId>> EvaluateSelected(const TreePattern& pattern,
-                                                  const DocIndex& index) {
+                                                  const DocIndex& index,
+                                                  obs::QueryProfile* profile) {
+  obs::ProfileScope prof("pattern.EvaluateSelected", profile);
   MatchTables tables = MatchTables::Build(pattern, index);
   return EvaluateSelectedImpl(pattern, tables);
 }
@@ -220,11 +244,16 @@ std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
     pool = &*owned_pool;
   }
   if (statuses != nullptr) statuses->assign(docs.size(), Status::OK());
+  if (options.profiles != nullptr) {
+    options.profiles->assign(docs.size(), obs::QueryProfile());
+  }
   const bool guarded = options.budget.Limited() || options.cancel != nullptr;
   std::vector<std::vector<std::vector<NodeId>>> results(docs.size());
   exec::ParallelFor(pool, docs.size(), [&](size_t i) {
+    obs::QueryProfile* item_profile =
+        options.profiles == nullptr ? nullptr : &(*options.profiles)[i];
     if (!guarded) {
-      results[i] = EvaluateSelected(pattern, *docs[i]);
+      results[i] = EvaluateSelected(pattern, *docs[i], item_profile);
       return;
     }
     // Pool workers do not inherit the caller's thread-local guard; each
@@ -237,7 +266,7 @@ std::vector<std::vector<std::vector<NodeId>>> EvaluateSelectedBatch(
     }
     guard::GuardContext ctx(options.budget, options.cancel);
     guard::ScopedGuard scope(&ctx);
-    results[i] = EvaluateSelected(pattern, *docs[i]);
+    results[i] = EvaluateSelected(pattern, *docs[i], item_profile);
     if (!ctx.ok()) {
       results[i].clear();  // partial tuples under a trip are meaningless
       if (statuses != nullptr) (*statuses)[i] = ctx.status();

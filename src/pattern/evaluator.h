@@ -11,6 +11,7 @@
 #include "exec/thread_pool.h"
 #include "guard/guard.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "pattern/tree_pattern.h"
 #include "regex/dense_dfa.h"
 #include "xml/doc_index.h"
@@ -156,6 +157,17 @@ std::vector<std::vector<xml::NodeId>> EvaluateSelected(
 std::vector<std::vector<xml::NodeId>> EvaluateSelected(
     const TreePattern& pattern, const xml::DocIndex& index);
 
+// Profiled overloads: when `profile` is non-null the evaluation runs
+// under an obs::ProfileScope and fills it with the phase tree
+// (pattern.build_tables / pattern.enumerate), metric deltas, and guard
+// accounting. Null `profile` is identical to the overloads above.
+std::vector<std::vector<xml::NodeId>> EvaluateSelected(
+    const TreePattern& pattern, const xml::Document& doc,
+    obs::QueryProfile* profile);
+std::vector<std::vector<xml::NodeId>> EvaluateSelected(
+    const TreePattern& pattern, const xml::DocIndex& index,
+    obs::QueryProfile* profile);
+
 // Evaluates one pattern against many documents, one pool task per
 // document (`jobs` <= 1 runs serially; a non-null `pool` overrides
 // `jobs`). Results are indexed like `docs` and bit-identical to serial
@@ -174,6 +186,10 @@ struct EvalBatchOptions {
   exec::ThreadPool* pool = nullptr;  // non-null overrides `jobs`
   guard::ExecutionBudget budget;     // per document; default unlimited
   guard::CancelToken* cancel = nullptr;
+  // When non-null, resized to docs.size(); slot i receives document i's
+  // QueryProfile (captured on the worker that evaluated it, so batch
+  // items are individually attributed even under pool fan-out).
+  std::vector<obs::QueryProfile>* profiles = nullptr;
 };
 
 // Guarded batch evaluation. When `statuses` is non-null it is resized to

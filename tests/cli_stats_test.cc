@@ -19,6 +19,16 @@
 
 namespace {
 
+// The CLI is built with the same flags as this test; under
+// RTP_OBS_DISABLED the pipeline records no metrics, spans, or profiles,
+// so content assertions about them only hold in the enabled build.
+#ifdef RTP_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+  GTEST_SKIP() << "RTP_OBS_DISABLED: call-site instrumentation compiled out"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
 std::string Quoted(const std::string& s) { return "'" + s + "'"; }
 
 struct RunResult {
@@ -90,6 +100,7 @@ void ExpectParseableJsonObject(const std::string& json) {
 }
 
 TEST(CliStatsTest, IndependentEmitsPipelineMetrics) {
+  SKIP_IF_OBS_DISABLED();
   std::string stats_file = testing::TempDir() + "/cli_stats_independent.json";
   std::remove(stats_file.c_str());
 
@@ -105,6 +116,8 @@ TEST(CliStatsTest, IndependentEmitsPipelineMetrics) {
   std::string json = ReadFileOrDie(stats_file);
   ExpectParseableJsonObject(json);
 
+  // The dump shape is versioned.
+  EXPECT_EQ(IntValueOf(json, "schema_version"), 2) << json;
   // Acceptance keys: the product construction and the criterion ran.
   EXPECT_GT(IntValueOf(json, "automata.product.states_built"), 0) << json;
   EXPECT_GT(IntValueOf(json, "independence.criterion.checks"), 0) << json;
@@ -126,6 +139,7 @@ TEST(CliStatsTest, IndependentEmitsPipelineMetrics) {
 }
 
 TEST(CliStatsTest, CheckFdEmitsEvaluatorAndFdMetrics) {
+  SKIP_IF_OBS_DISABLED();
   std::string stats_file = testing::TempDir() + "/cli_stats_check.json";
   std::remove(stats_file.c_str());
 
@@ -147,6 +161,7 @@ TEST(CliStatsTest, CheckFdEmitsEvaluatorAndFdMetrics) {
 }
 
 TEST(CliStatsTest, ValidateAgainstSchemaCountsValidation) {
+  SKIP_IF_OBS_DISABLED();
   std::string stats_file = testing::TempDir() + "/cli_stats_validate.json";
   std::remove(stats_file.c_str());
 
@@ -162,6 +177,7 @@ TEST(CliStatsTest, ValidateAgainstSchemaCountsValidation) {
 }
 
 TEST(CliStatsTest, BareStatsFlagDumpsToStderr) {
+  SKIP_IF_OBS_DISABLED();
   RunResult r = RunCli("--stats eval " + Quoted(DataPath("update_u.pattern")) +
                         " " + Quoted(DataPath("exam.xml")),
                     /*merge_stderr=*/true);
@@ -176,6 +192,7 @@ TEST(CliStatsTest, BareStatsFlagDumpsToStderr) {
 }
 
 TEST(CliStatsTest, TraceOutWritesChromeTracingJson) {
+  SKIP_IF_OBS_DISABLED();
   std::string trace_file = testing::TempDir() + "/cli_trace.json";
   std::remove(trace_file.c_str());
 
@@ -191,6 +208,73 @@ TEST(CliStatsTest, TraceOutWritesChromeTracingJson) {
   EXPECT_NE(json.find("independence.CheckIndependence"), std::string::npos)
       << json;
   std::remove(trace_file.c_str());
+}
+
+TEST(CliProfileTest, ProfileFlagWritesQueryProfiles) {
+  SKIP_IF_OBS_DISABLED();
+  std::string profile_file = testing::TempDir() + "/cli_profile_eval.json";
+  std::remove(profile_file.c_str());
+
+  RunResult r = RunCli("--profile=" + Quoted(profile_file) + " eval " +
+                    Quoted(DataPath("update_u.pattern")) + " " +
+                    Quoted(DataPath("exam.xml")));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text;
+
+  std::string json = ReadFileOrDie(profile_file);
+  ASSERT_FALSE(json.empty());
+  // One QueryProfile object with op, wall, phase tree, and counter deltas.
+  EXPECT_NE(json.find("\"op\":\"pattern.EvaluateSelected\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_ns\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phases\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("pattern.build_tables"), std::string::npos) << json;
+  EXPECT_NE(json.find("pattern.enumerate"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pattern.eval.enumerations\":"), std::string::npos)
+      << json;
+  std::remove(profile_file.c_str());
+}
+
+TEST(CliProfileTest, ExplainWrapsCommandAndPrintsTextProfile) {
+  SKIP_IF_OBS_DISABLED();
+  RunResult r = RunCli("explain checkfd " + Quoted(DataPath("fd1.fd")) + " " +
+                    Quoted(DataPath("exam.xml")));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text;
+  // The wrapped command's own output comes first...
+  EXPECT_NE(r.stdout_text.find("satisfied"), std::string::npos)
+      << r.stdout_text;
+  // ...followed by the rendered profile: operation, phases, counters.
+  EXPECT_NE(r.stdout_text.find("fd.CheckFd"), std::string::npos)
+      << r.stdout_text;
+  EXPECT_NE(r.stdout_text.find("pattern.build_tables"), std::string::npos)
+      << r.stdout_text;
+  EXPECT_NE(r.stdout_text.find("fd.group_and_compare"), std::string::npos)
+      << r.stdout_text;
+}
+
+TEST(CliProfileTest, ExplainRejectsUnwrappableCommand) {
+  RunResult r = RunCli("explain validate a b", /*merge_stderr=*/true);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stdout_text.find("explain"), std::string::npos)
+      << r.stdout_text;
+}
+
+TEST(CliPrometheusTest, PrometheusFlagWritesExposition) {
+  SKIP_IF_OBS_DISABLED();
+  std::string prom_file = testing::TempDir() + "/cli_prometheus.txt";
+  std::remove(prom_file.c_str());
+
+  RunResult r = RunCli("--prometheus=" + Quoted(prom_file) + " checkfd " +
+                    Quoted(DataPath("fd1.fd")) + " " +
+                    Quoted(DataPath("exam.xml")));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text;
+
+  std::string text = ReadFileOrDie(prom_file);
+  EXPECT_NE(text.find("# TYPE rtp_fd_check_calls counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtp_fd_check_calls 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"}"), std::string::npos) << text;
+  std::remove(prom_file.c_str());
 }
 
 TEST(CliStatsTest, UnknownCommandReportsDetail) {

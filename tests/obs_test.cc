@@ -6,12 +6,15 @@
 // the registry contains *only* what this file created.
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/exposition.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -107,6 +110,66 @@ TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
   // Log2 buckets are coarse; just require the right order of magnitude.
   EXPECT_LE(p99, 2048u);
   EXPECT_GE(p99, 256u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.interp");
+  h->Reset();
+  for (uint64_t v = 1; v <= 1000; ++v) h->Record(v);
+  // Exact quantiles of uniform 1..1000 are 500.5 (p50) and 990 (p99);
+  // linear interpolation inside the containing log2 bucket must land
+  // close, where a bucket bound alone would be off by hundreds.
+  EXPECT_GE(h->Quantile(0.5), 450.0);
+  EXPECT_LE(h->Quantile(0.5), 550.0);
+  EXPECT_GE(h->Quantile(0.99), 950.0);
+  EXPECT_LE(h->Quantile(0.99), 1000.0);
+  // The extremes clamp to the observed [min, max] range.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 1000.0);
+  EXPECT_EQ(h->ApproxQuantile(1.0), 1000u);
+}
+
+TEST(HistogramTest, QuantileOfSingleSampleIsTheSample) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.single");
+  h->Reset();
+  h->Record(42);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Quantile(q), 42.0) << q;
+  }
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.emptyq");
+  h->Reset();
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+}
+
+TEST(HistogramDeltaTest, RecordMergeAndQuantileMatchHistogram) {
+  HistogramDelta a;
+  HistogramDelta b;
+  for (uint64_t v = 1; v <= 500; ++v) a.Record(v);
+  for (uint64_t v = 501; v <= 1000; ++v) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 1000u);
+  EXPECT_EQ(a.sum, 500500u);
+  EXPECT_EQ(a.ReportedMin(), 1u);
+  EXPECT_EQ(a.max, 1000u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 500.5);
+
+  // The merged delta quantiles agree with a Histogram that saw the same
+  // samples (both run the shared interpolation).
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.hist.delta-ref");
+  h->Reset();
+  for (uint64_t v = 1; v <= 1000; ++v) h->Record(v);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), h->Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), h->Quantile(0.99));
+}
+
+TEST(HistogramDeltaTest, EmptyDeltaReportsZeros) {
+  HistogramDelta d;
+  EXPECT_EQ(d.ReportedMin(), 0u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 0.0);
 }
 
 TEST(HistogramTest, ConcurrentRecordsAreLossless) {
@@ -213,6 +276,172 @@ TEST(DumpTest, JsonHasStableShapeAndSortedKeys) {
   EXPECT_NE(text.find("obstest.aa.counter"), std::string::npos);
   EXPECT_NE(text.find("obstest.zz.hist"), std::string::npos);
 }
+
+TEST(DumpTest, JsonCarriesSchemaVersion) {
+  std::string json = DumpJson();
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u) << json;
+  EXPECT_EQ(kDumpSchemaVersion, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition: snapshots, deltas, Prometheus text format.
+
+TEST(ExpositionTest, SnapshotDeltaSubtractsCountersAndHistograms) {
+  Counter* c = Registry().FindOrCreateCounter("obstest.expo.counter");
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.expo.hist");
+  Gauge* g = Registry().FindOrCreateGauge("obstest.expo.gauge");
+  c->Reset();
+  h->Reset();
+  g->Set(1);
+  c->Add(10);
+  h->Record(7);
+
+  MetricsSnapshot before = TakeSnapshot();
+  c->Add(5);
+  h->Record(9);
+  h->Record(100);
+  g->Set(33);
+  MetricsSnapshot delta = SnapshotDelta(before, TakeSnapshot());
+
+  bool found_counter = false;
+  for (const auto& [name, value] : delta.counters) {
+    if (name != "obstest.expo.counter") continue;
+    found_counter = true;
+    EXPECT_EQ(value, 5u);
+  }
+  EXPECT_TRUE(found_counter);
+
+  bool found_hist = false;
+  for (const auto& [name, d] : delta.histograms) {
+    if (name != "obstest.expo.hist") continue;
+    found_hist = true;
+    EXPECT_EQ(d.count, 2u);
+    EXPECT_EQ(d.sum, 109u);
+    EXPECT_EQ(d.max, 100u);  // min/max are instantaneous, from `after`
+  }
+  EXPECT_TRUE(found_hist);
+
+  bool found_gauge = false;
+  for (const auto& [name, value] : delta.gauges) {
+    if (name != "obstest.expo.gauge") continue;
+    found_gauge = true;
+    EXPECT_EQ(value, 33);  // gauges are instantaneous, from `after`
+  }
+  EXPECT_TRUE(found_gauge);
+}
+
+TEST(ExpositionTest, SnapshotJsonMatchesDumpShape) {
+  Registry().FindOrCreateCounter("obstest.expo.json")->Reset();
+  std::string json = SnapshotToJson(TakeSnapshot());
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u) << json;
+  EXPECT_NE(json.find("\"obstest.expo.json\":0"), std::string::npos) << json;
+}
+
+TEST(ExpositionTest, PrometheusExpositionShape) {
+  Counter* c = Registry().FindOrCreateCounter("obstest.promo-counter");
+  c->Reset();
+  c->Add(3);
+  Histogram* h = Registry().FindOrCreateHistogram("obstest.promo.hist");
+  h->Reset();
+  h->Record(0);
+  h->Record(3);
+
+  std::string text = DumpPrometheus();
+  // Names get the rtp_ prefix and '-'/'.' sanitize to '_'.
+  EXPECT_NE(text.find("# TYPE rtp_obstest_promo_counter counter\n"
+                      "rtp_obstest_promo_counter 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE rtp_obstest_promo_hist histogram\n"),
+            std::string::npos)
+      << text;
+  // Cumulative le buckets at the integer-exact log2 upper bounds: the
+  // zero lands at le="0", the 3 in (1,3]; +Inf closes the series.
+  EXPECT_NE(text.find("rtp_obstest_promo_hist_bucket{le=\"0\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtp_obstest_promo_hist_bucket{le=\"3\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtp_obstest_promo_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtp_obstest_promo_hist_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rtp_obstest_promo_hist_count 2\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging. RTP_LOG compiles to nothing under RTP_OBS_DISABLED,
+// so the emission tests only exist in the enabled build.
+
+#ifndef RTP_OBS_DISABLED
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  void TearDown() override {
+    SetLogLevel(LogLevel::kOff);
+    SetLogSink(nullptr);
+  }
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogCaptureTest, EmitsStructuredJsonLine) {
+  SetLogLevel(LogLevel::kInfo);
+  RTP_LOG(INFO) << "hello " << 42;
+  std::vector<std::string> captured = lines();
+  ASSERT_EQ(captured.size(), 1u);
+  const std::string& line = captured[0];
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"file\":\"obs_test.cc\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"line\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"hello 42\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+}
+
+TEST_F(LogCaptureTest, LevelsBelowMinimumAreSilentAndUnevaluated) {
+  SetLogLevel(LogLevel::kWarn);
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "side effect";
+  };
+  RTP_LOG(INFO) << touch();
+  EXPECT_FALSE(evaluated);  // operands of a disabled line never run
+  EXPECT_TRUE(lines().empty());
+  RTP_LOG(ERROR) << touch();
+  EXPECT_TRUE(evaluated);
+  EXPECT_EQ(lines().size(), 1u);
+}
+
+TEST_F(LogCaptureTest, PerSiteRateLimitSuppresses) {
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kAttempts = 200;
+  for (int i = 0; i < kAttempts; ++i) {
+    RTP_LOG(INFO) << "spam " << i;
+  }
+  size_t emitted = lines().size();
+  // One window's worth per second per site; the loop takes far less than
+  // a second but may straddle one boundary.
+  EXPECT_GE(emitted, static_cast<size_t>(kMaxLogsPerSitePerSecond));
+  EXPECT_LE(emitted, 2u * kMaxLogsPerSitePerSecond);
+  EXPECT_LT(emitted, static_cast<size_t>(kAttempts));
+}
+
+#endif  // RTP_OBS_DISABLED
 
 TEST(TraceTest, InactiveByDefaultAndSpansAreFree) {
   ASSERT_EQ(TraceSession::Active(), nullptr);

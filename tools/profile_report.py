@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Render rtp_cli --profile JSON as a readable report.
+
+usage: tools/profile_report.py [profile.json]        (default: stdin)
+       tools/profile_report.py --top-counters=N ...
+
+Reads the JSON array written by `rtp_cli --profile=<file>` (one
+QueryProfile object per operation) and prints, per operation: the phase
+tree with durations and percent-of-wall, the largest counter deltas, the
+histogram deltas, and guard-budget consumption. Pure stdlib, no
+dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_ns(ns):
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns} ns"
+
+
+def pct(part, whole):
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    -"
+
+
+def render_profile(p, top_counters, out):
+    wall = p.get("wall_ns", 0)
+    status = p.get("status", "OK")
+    out.write(f"{p.get('op', '?')}  wall={fmt_ns(wall)}  status={status}\n")
+
+    phases = p.get("phases", [])
+    root_total = sum(ph["dur_ns"] for ph in phases if ph.get("parent", -1) == -1)
+    for ph in phases:
+        indent = "  " * (ph.get("depth", 0) + 1)
+        out.write(
+            f"{indent}{ph['name']:<32} {fmt_ns(ph['dur_ns']):>12}"
+            f"  {pct(ph['dur_ns'], wall)}\n"
+        )
+    if phases:
+        unattributed = wall - root_total
+        out.write(
+            f"  (root phases cover {pct(root_total, wall).strip()} of wall,"
+            f" {fmt_ns(max(unattributed, 0))} unattributed)\n"
+        )
+
+    counters = sorted(
+        p.get("counters", {}).items(), key=lambda kv: kv[1], reverse=True
+    )
+    if counters:
+        out.write("  counters (largest deltas):\n")
+        for name, value in counters[:top_counters]:
+            out.write(f"    {name:<40} {value}\n")
+        if len(counters) > top_counters:
+            out.write(f"    ... {len(counters) - top_counters} more\n")
+
+    for name, h in sorted(p.get("histograms", {}).items()):
+        out.write(
+            f"  histogram {name}: count={h['count']} sum={h['sum']}"
+            f" p50={h['p50']} p99={h['p99']}\n"
+        )
+
+    guard = p.get("guard", {})
+    if guard.get("guarded"):
+        budget = guard.get("budget", {})
+
+        def used(v, limit):
+            return f"{v}/{limit if limit else 'inf'}"
+
+        out.write(
+            "  guard: steps="
+            + used(guard.get("steps", 0), budget.get("max_steps", 0))
+            + " states="
+            + used(guard.get("states", 0), budget.get("max_states", 0))
+            + " memory="
+            + used(guard.get("memory_bytes", 0),
+                   budget.get("max_memory_bytes", 0))
+            + f" deadline_ms={budget.get('deadline_ms', 0) or 'inf'}\n"
+        )
+    out.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render rtp_cli --profile JSON as a readable report."
+    )
+    parser.add_argument("profile", nargs="?", help="profile JSON (default stdin)")
+    parser.add_argument(
+        "--top-counters", type=int, default=10,
+        help="counters to show per operation (default 10)",
+    )
+    args = parser.parse_args()
+
+    if args.profile:
+        with open(args.profile) as f:
+            profiles = json.load(f)
+    else:
+        profiles = json.load(sys.stdin)
+    if not isinstance(profiles, list):
+        profiles = [profiles]
+
+    if not profiles:
+        print("no profiles recorded")
+        return 0
+    total_wall = sum(p.get("wall_ns", 0) for p in profiles)
+    print(f"{len(profiles)} operation(s), total wall {fmt_ns(total_wall)}\n")
+    for p in profiles:
+        render_profile(p, args.top_counters, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,26 @@
 //                                      <update-file>[,<update-file>...]
 //                                      [schema-file]
 //   rtp_cli [global flags] materialize <view-pattern-file> <xml-file>
+//   rtp_cli [global flags] explain     eval|checkfd|matrix <args...>
+//
+// `explain` runs the wrapped subcommand with per-operation profiling
+// forced on and appends an EXPLAIN ANALYZE-style report per work item
+// (phase tree with wall times, metric deltas, guard budget consumption)
+// to stdout. The same structured data is available as JSON from any
+// supporting subcommand via --profile.
 //
 // Global flags (accepted anywhere on the command line, any subcommand):
 //   --stats[=<file>]     after the command runs, dump the obs metrics
 //                        registry as JSON to <file> (or stderr).
+//   --profile[=<file>]   collect per-operation query profiles (eval,
+//                        checkfd, matrix: one per document / matrix cell)
+//                        and dump them as a JSON array to <file> (or
+//                        stderr).
+//   --prometheus[=<file>] after the command runs, dump the metrics
+//                        registry in Prometheus text exposition format.
+//   --log-level=<level>  enable structured JSON-lines logging on stderr
+//                        (debug|info|warn|error|off; default off, also
+//                        settable via RTP_LOG_LEVEL).
 //   --trace-out=<file>   record phase spans and write chrome://tracing
 //                        JSON to <file>.
 //   --jobs=N             worker threads for the batch subcommands (matrix,
@@ -58,7 +74,10 @@
 #include "independence/criterion.h"
 #include "independence/matrix.h"
 #include "automata/pattern_compiler.h"
+#include "obs/exposition.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "pattern/dot_export.h"
 #include "pattern/evaluator.h"
@@ -88,8 +107,16 @@ int Usage(const char* detail = nullptr) {
                "       rtp_cli [flags] materialize <view-file> <xml-file>\n"
                "       rtp_cli [flags] dot         pattern|automaton "
                "<pattern-file>\n"
+               "       rtp_cli [flags] explain     eval|checkfd|matrix "
+               "<args...>\n"
                "flags: --stats[=<file>]   dump obs metrics JSON after the "
                "command\n"
+               "       --profile[=<file>] dump per-operation query profiles "
+               "as JSON\n"
+               "       --prometheus[=<file>] dump metrics in Prometheus "
+               "text format\n"
+               "       --log-level=<lvl>  structured logging on stderr "
+               "(debug|info|warn|error|off)\n"
                "       --trace-out=<file> write chrome://tracing phase "
                "spans\n"
                "       --jobs=N           worker threads for batch "
@@ -155,7 +182,8 @@ std::vector<const xml::Document*> DocPointers(
 
 int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
                const std::vector<std::string>& xml_paths, int jobs,
-               const guard::ExecutionBudget& budget) {
+               const guard::ExecutionBudget& budget,
+               std::vector<obs::QueryProfile>* profiles) {
   CLI_ASSIGN(fd_text, ReadFile(fd_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, fd_text));
   CLI_ASSIGN(fd, fd::FunctionalDependency::FromParsed(std::move(parsed)));
@@ -163,6 +191,7 @@ int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
   fd::BatchCheckOptions options;
   options.jobs = jobs;
   options.check.budget = budget;
+  options.profiles = profiles;
   std::vector<fd::CheckResult> results =
       fd::CheckFdBatch(fd, DocPointers(docs), options);
   bool all_satisfied = true;
@@ -192,13 +221,15 @@ int CmdCheckFd(Alphabet* alphabet, const std::string& fd_path,
 
 int CmdEval(Alphabet* alphabet, const std::string& pattern_path,
             const std::vector<std::string>& xml_paths, int jobs,
-            const guard::ExecutionBudget& budget) {
+            const guard::ExecutionBudget& budget,
+            std::vector<obs::QueryProfile>* profiles) {
   CLI_ASSIGN(pattern_text, ReadFile(pattern_path));
   CLI_ASSIGN(parsed, pattern::ParsePattern(alphabet, pattern_text));
   CLI_ASSIGN(docs, ParseXmlFiles(alphabet, xml_paths));
   pattern::EvalBatchOptions options;
   options.jobs = jobs;
   options.budget = budget;
+  options.profiles = profiles;
   std::vector<Status> statuses;
   auto per_doc = pattern::EvaluateSelectedBatch(parsed.pattern,
                                                 DocPointers(docs), options,
@@ -310,7 +341,8 @@ std::string Basename(const std::string& path) {
 
 int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
               const std::string& update_list, const std::string& schema_path,
-              int jobs, const guard::ExecutionBudget& budget) {
+              int jobs, const guard::ExecutionBudget& budget,
+              std::vector<obs::QueryProfile>* profiles) {
   std::vector<std::string> fd_paths = SplitCommaList(fd_list);
   std::vector<std::string> update_paths = SplitCommaList(update_list);
 
@@ -349,6 +381,7 @@ int CmdMatrix(Alphabet* alphabet, const std::string& fd_list,
   options.jobs = jobs;
   options.cache = &exec::AutomatonCache::Global();
   options.budget = budget;
+  options.profiles = profiles;
   CLI_ASSIGN(matrix,
              independence::ComputeIndependenceMatrix(fd_ptrs, class_ptrs,
                                                      schema, alphabet,
@@ -419,7 +452,11 @@ int CmdMaterialize(Alphabet* alphabet, const std::string& view_path,
 struct ObsOptions {
   bool stats = false;
   std::string stats_file;  // empty: stderr
-  std::string trace_file;  // empty: tracing off
+  bool profile = false;
+  std::string profile_file;  // empty: stderr
+  bool prometheus = false;
+  std::string prometheus_file;  // empty: stderr
+  std::string trace_file;       // empty: tracing off
 };
 
 // Writes `content` to `path`, or to `fallback` when path is empty.
@@ -459,11 +496,31 @@ int GuardedRun(const guard::ExecutionBudget& budget, Fn&& fn) {
 }
 
 int Dispatch(const std::vector<std::string>& args, int jobs,
-             const guard::ExecutionBudget& budget) {
+             const guard::ExecutionBudget& budget,
+             std::vector<obs::QueryProfile>* profiles) {
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
   size_t argc = args.size();
   Alphabet alphabet;
+  if (cmd == "explain" && argc >= 2) {
+    // `explain X ...` = run `X ...` with profiling forced on, then print
+    // the per-item reports. The wrapped command's own stdout still comes
+    // first, so scripts can consume either.
+    const std::string& sub = args[1];
+    if (sub != "eval" && sub != "checkfd" && sub != "matrix") {
+      return Usage("explain wraps eval, checkfd, or matrix");
+    }
+    std::vector<obs::QueryProfile> local;
+    std::vector<obs::QueryProfile>* target =
+        profiles != nullptr ? profiles : &local;
+    int code = Dispatch({args.begin() + 1, args.end()}, jobs, budget, target);
+    if (code != 2) {
+      for (const obs::QueryProfile& p : *target) {
+        std::printf("%s", p.ToText().c_str());
+      }
+    }
+    return code;
+  }
   if (cmd == "validate" && argc == 3) {
     return GuardedRun(budget,
                       [&] { return CmdValidate(&alphabet, args[1], args[2]); });
@@ -472,11 +529,11 @@ int Dispatch(const std::vector<std::string>& args, int jobs,
     // Batch commands apply the budget per work item (inside the batch
     // API), not ambiently: one runaway document degrades alone.
     return CmdCheckFd(&alphabet, args[1],
-                      {args.begin() + 2, args.end()}, jobs, budget);
+                      {args.begin() + 2, args.end()}, jobs, budget, profiles);
   }
   if (cmd == "eval" && argc >= 3) {
     return CmdEval(&alphabet, args[1], {args.begin() + 2, args.end()}, jobs,
-                   budget);
+                   budget, profiles);
   }
   if (cmd == "xpath" && argc == 3) {
     return GuardedRun(budget,
@@ -490,7 +547,7 @@ int Dispatch(const std::vector<std::string>& args, int jobs,
   }
   if (cmd == "matrix" && (argc == 3 || argc == 4)) {
     return CmdMatrix(&alphabet, args[1], args[2], argc == 4 ? args[3] : "",
-                     jobs, budget);
+                     jobs, budget, profiles);
   }
   if (cmd == "materialize" && argc == 3) {
     return GuardedRun(
@@ -502,7 +559,7 @@ int Dispatch(const std::vector<std::string>& args, int jobs,
   }
   bool known = cmd == "validate" || cmd == "checkfd" || cmd == "eval" ||
                cmd == "xpath" || cmd == "independent" || cmd == "matrix" ||
-               cmd == "materialize" || cmd == "dot";
+               cmd == "materialize" || cmd == "dot" || cmd == "explain";
   std::string detail = known
                            ? "wrong number of arguments for '" + cmd + "'"
                            : "unknown command '" + cmd + "'";
@@ -532,6 +589,31 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--stats=", 0) == 0) {
       obs_options.stats = true;
       obs_options.stats_file = arg.substr(std::strlen("--stats="));
+    } else if (arg == "--profile") {
+      obs_options.profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      obs_options.profile = true;
+      obs_options.profile_file = arg.substr(std::strlen("--profile="));
+    } else if (arg == "--prometheus") {
+      obs_options.prometheus = true;
+    } else if (arg.rfind("--prometheus=", 0) == 0) {
+      obs_options.prometheus = true;
+      obs_options.prometheus_file = arg.substr(std::strlen("--prometheus="));
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      std::string level(arg.substr(std::strlen("--log-level=")));
+      if (level == "debug") {
+        obs::SetLogLevel(obs::LogLevel::kDebug);
+      } else if (level == "info") {
+        obs::SetLogLevel(obs::LogLevel::kInfo);
+      } else if (level == "warn") {
+        obs::SetLogLevel(obs::LogLevel::kWarn);
+      } else if (level == "error") {
+        obs::SetLogLevel(obs::LogLevel::kError);
+      } else if (level == "off") {
+        obs::SetLogLevel(obs::LogLevel::kOff);
+      } else {
+        return Usage("--log-level must be debug|info|warn|error|off");
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       obs_options.trace_file = arg.substr(std::strlen("--trace-out="));
       if (obs_options.trace_file.empty()) {
@@ -572,12 +654,26 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session;
   if (!obs_options.trace_file.empty()) trace_session.Start();
 
-  int exit_code = Dispatch(args, jobs, budget);
+  std::vector<obs::QueryProfile> profiles;
+  int exit_code = Dispatch(args, jobs, budget,
+                           obs_options.profile ? &profiles : nullptr);
 
   if (!obs_options.trace_file.empty()) {
     trace_session.Stop();
     if (!WriteOutput(obs_options.trace_file,
                      trace_session.ExportChromeTracing(), stderr)) {
+      exit_code = exit_code == 0 ? 2 : exit_code;
+    }
+  }
+  if (obs_options.profile) {
+    if (!WriteOutput(obs_options.profile_file, obs::ProfilesToJson(profiles),
+                     stderr)) {
+      exit_code = exit_code == 0 ? 2 : exit_code;
+    }
+  }
+  if (obs_options.prometheus) {
+    if (!WriteOutput(obs_options.prometheus_file, obs::DumpPrometheus(),
+                     stderr)) {
       exit_code = exit_code == 0 ? 2 : exit_code;
     }
   }

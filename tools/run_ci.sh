@@ -15,7 +15,7 @@
 #                 code that actually runs concurrently.
 #   perf          one pass over the allowlisted benchmarks in the plain
 #                 (Release) tree, compared against the committed
-#                 BENCH_pr4.json via tools/bench_compare.py (>10% cpu-time
+#                 BENCH_pr6.json via tools/bench_compare.py (>10% cpu-time
 #                 regression fails; see docs/PERFORMANCE.md).
 #   fuzz          -DRTP_FUZZ=ON -DRTP_SANITIZE=address,undefined build of
 #                 the fuzz/ harnesses; replays fuzz/corpus/, then fuzzes
@@ -26,6 +26,10 @@
 #                 the guard + status suites with fault injection compiled
 #                 in (the failpoint tests GTEST_SKIP themselves everywhere
 #                 else). See docs/ROBUSTNESS.md.
+#   obs-off       -DRTP_OBS_DISABLED=ON — full ctest suite with every
+#                 rtp::obs macro compiled to a no-op, so the disabled
+#                 path (and the tests' SKIP guards) cannot rot. See
+#                 docs/OBSERVABILITY.md.
 #   format        clang-format --dry-run --Werror over src/ tests/ tools/
 #                 fuzz/ (skipped with a notice when clang-format is not
 #                 installed).
@@ -33,17 +37,17 @@
 # usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
 #   leg               all (default) | plain | asan-ubsan | tsan | perf |
-#                     fuzz | failpoints | format
+#                     fuzz | failpoints | obs-off | format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
-#                     <prefix>-fuzz, <prefix>-failpoints.
+#                     <prefix>-fuzz, <prefix>-failpoints, <prefix>-obs-off.
 #
 # Exits non-zero on the first failing leg.
 set -euo pipefail
 
 leg="all"
 case "${1:-}" in
-  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|format)
+  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|format)
     leg="$1"
     shift
     ;;
@@ -53,11 +57,13 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 source_dir="$(cd "$(dirname "$0")/.." && pwd)"
 
 run_leg() {
-  local name="$1" sanitize="$2" ctest_args="$3"
+  local name="$1" sanitize="$2" ctest_args="$3" extra_cmake="${4:-}"
   local build_dir="${prefix}-${name}"
-  echo "==== [$name] configure (RTP_SANITIZE='${sanitize}')" >&2
+  echo "==== [$name] configure (RTP_SANITIZE='${sanitize}'" \
+    "${extra_cmake:+extra: $extra_cmake})" >&2
+  # shellcheck disable=SC2086  # extra_cmake is a deliberate word list
   cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="$sanitize" \
-    > /dev/null
+    $extra_cmake > /dev/null
   echo "==== [$name] build" >&2
   cmake --build "$build_dir" -j "$jobs"
   echo "==== [$name] ctest $ctest_args" >&2
@@ -82,9 +88,9 @@ run_perf() {
   RTP_BENCH_JSON="$out" "$build_dir/bench/bench_fd_check" \
     --benchmark_filter='(BM_CheckFd1|BM_CheckFd2|BM_CheckFd3|BM_CheckFd5)/4096$' \
     --benchmark_min_time=0.1 >&2
-  echo "==== [perf] comparing against BENCH_pr4.json" >&2
+  echo "==== [perf] comparing against BENCH_pr6.json" >&2
   python3 "$source_dir/tools/bench_compare.py" \
-    "$source_dir/BENCH_pr4.json" "$out"
+    "$source_dir/BENCH_pr6.json" "$out"
 }
 
 run_fuzz() {
@@ -140,6 +146,7 @@ case "$leg" in
   plain)      run_leg plain      ""                  "" ;;
   asan-ubsan) run_leg asan-ubsan "address,undefined" "" ;;
   tsan)       run_leg tsan       "thread"            "-L exec" ;;
+  obs-off)    run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON" ;;
   perf)       run_perf ;;
   fuzz)       run_fuzz ;;
   failpoints) run_failpoints ;;
@@ -149,6 +156,7 @@ case "$leg" in
     run_leg plain      ""                  ""
     run_leg asan-ubsan "address,undefined" ""
     run_leg tsan       "thread"            "-L exec"
+    run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON"
     run_perf
     run_fuzz
     run_failpoints
