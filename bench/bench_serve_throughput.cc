@@ -1,0 +1,153 @@
+// Serving throughput for rtpd (src/serve): an in-process Server with
+// jobs ∈ {1, 4, 8} worker threads, driven by 8 concurrent client
+// connections issuing a mixed eval/checkfd workload over a resident
+// exam-session corpus. Counters per run:
+//
+//   rps     requests per second across all clients (rate counter)
+//   p50_us  median request latency, microseconds (send → response parsed)
+//   p99_us  tail request latency, microseconds
+//
+// The point of the resident daemon is amortization — documents parsed
+// once, automata warm — so the measured request path is exactly the wire
+// round-trip the tests pin: line out, line back, JSON both ways.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workload/exam_generator.h"
+#include "xml/xml_io.h"
+
+namespace rtp::bench {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 16;
+
+// Generator-shaped DSL texts (the documents come from
+// workload::GenerateExamDocument, Figure 1 shape).
+constexpr const char* kEvalPattern =
+    "root { session/candidate { x = exam/mark; } } select x;";
+constexpr const char* kFdText =
+    "root { c = session { candidate/exam { p1 = discipline; p2 = mark; "
+    "q = rank; } } } select p1[V], p2[V], q[V]; context c;";
+
+std::string BenchSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/rtp_bench_serve_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.socket_path = BenchSocketPath();
+  options.jobs = static_cast<int>(state.range(0));
+  auto server_or = serve::Server::Start(options);
+  if (!server_or.ok()) {
+    state.SkipWithError(server_or.status().ToString().c_str());
+    return;
+  }
+  auto server = std::move(server_or).value();
+
+  {
+    Alphabet alphabet;
+    workload::ExamWorkloadParams params;
+    params.num_candidates = 64;
+    xml::Document doc = workload::GenerateExamDocument(&alphabet, params);
+    auto loader_or = serve::Client::Connect(options.socket_path);
+    if (!loader_or.ok()) {
+      state.SkipWithError(loader_or.status().ToString().c_str());
+      return;
+    }
+    serve::Client loader = std::move(loader_or).value();
+    Status status =
+        loader.Load("bench", "exam", xml::WriteXml(doc, /*indent=*/false));
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    // Warm the automaton cache so steady-state requests are measured.
+    auto warm_eval = loader.Eval("bench", "exam", kEvalPattern);
+    auto warm_check = loader.CheckFd("bench", "exam", kFdText);
+    if (!warm_eval.ok() || !warm_check.ok()) {
+      state.SkipWithError("warmup request failed");
+      return;
+    }
+  }
+
+  std::vector<double> latencies_us;
+  size_t total_requests = 0;
+  std::atomic<int> errors{0};
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_client(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client_or = serve::Client::Connect(options.socket_path);
+        if (!client_or.ok()) {
+          ++errors;
+          return;
+        }
+        serve::Client client = std::move(client_or).value();
+        per_client[c].reserve(kRequestsPerClient);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          auto t0 = std::chrono::steady_clock::now();
+          bool ok;
+          if ((c + i) % 2 == 0) {
+            ok = client.Eval("bench", "exam", kEvalPattern).ok();
+          } else {
+            ok = client.CheckFd("bench", "exam", kFdText).ok();
+          }
+          auto t1 = std::chrono::steady_clock::now();
+          if (!ok) ++errors;
+          per_client[c].push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const auto& lat : per_client) {
+      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    }
+    total_requests += static_cast<size_t>(kClients) * kRequestsPerClient;
+  }
+  server->Stop();
+  if (errors.load() != 0) {
+    state.SkipWithError("request errors during measurement");
+    return;
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["rps"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = Percentile(latencies_us, 0.50);
+  state.counters["p99_us"] = Percentile(latencies_us, 0.99);
+  state.counters["clients"] = kClients;
+  state.SetItemsProcessed(static_cast<int64_t>(total_requests));
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace rtp::bench

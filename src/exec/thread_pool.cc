@@ -65,6 +65,26 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  RTP_CHECK(task != nullptr);
+  bool from_worker = tls_pool == this;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!from_worker && queued_ >= queue_capacity_) {
+      RTP_OBS_COUNT("exec.pool.tasks_rejected");
+      return false;
+    }
+    size_t shard = from_worker ? tls_worker_index : next_shard_;
+    if (!from_worker) next_shard_ = (next_shard_ + 1) % shards_.size();
+    shards_[shard].tasks.push_back(std::move(task));
+    ++queued_;
+    RTP_OBS_GAUGE_SET("exec.pool.queue_depth", queued_);
+  }
+  RTP_OBS_COUNT("exec.pool.tasks_submitted");
+  work_available_.notify_one();
+  return true;
+}
+
 void ThreadPool::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });

@@ -68,6 +68,15 @@ class ThreadPool {
   // (unless called from one of this pool's workers).
   void Submit(std::function<void()> task);
 
+  // Non-blocking Submit: returns false (and does not enqueue) when the
+  // queue bound is reached, instead of waiting for space. This is the
+  // admission-control path for serving layers: a full queue means the
+  // process is saturated, and the caller sheds the request (e.g. with a
+  // RESOURCE_EXHAUSTED response) rather than stacking up blocked
+  // connection threads. From one of this pool's workers it behaves like
+  // Submit (worker submissions bypass the bound and always succeed).
+  bool TrySubmit(std::function<void()> task);
+
   // Blocks until every task submitted so far has been executed.
   void Drain();
 

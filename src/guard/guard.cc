@@ -11,13 +11,13 @@ namespace internal {
 thread_local GuardContext* tls_guard = nullptr;
 }  // namespace internal
 
-namespace {
-
-int64_t NowNs() {
+int64_t MonotonicNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+namespace {
 
 // One macro call site per code: RTP_OBS_COUNT caches its counter pointer
 // in a call-site static, so routing all codes through one call site would
@@ -41,8 +41,11 @@ void CountTrip(StatusCode code) {
 
 }  // namespace
 
-GuardContext::GuardContext(const ExecutionBudget& budget, CancelToken* cancel)
-    : budget_(budget), cancel_(cancel), start_ns_(NowNs()) {
+GuardContext::GuardContext(const ExecutionBudget& budget, CancelToken* cancel,
+                           int64_t start_ns)
+    : budget_(budget),
+      cancel_(cancel),
+      start_ns_(start_ns > 0 ? start_ns : MonotonicNowNs()) {
   RTP_OBS_COUNT("guard.contexts");
 }
 
@@ -73,7 +76,7 @@ void GuardContext::ForceTrip(StatusCode code, std::string message) {
 
 void GuardContext::CheckDeadline() {
   if (budget_.deadline_ms <= 0) return;
-  int64_t elapsed_ms = (NowNs() - start_ns_) / 1'000'000;
+  int64_t elapsed_ms = (MonotonicNowNs() - start_ns_) / 1'000'000;
   if (elapsed_ms >= budget_.deadline_ms) {
     Trip(StatusCode::kDeadlineExceeded,
          "deadline of " + std::to_string(budget_.deadline_ms) +

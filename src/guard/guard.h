@@ -55,8 +55,13 @@ class CancelToken {
 
 class GuardContext {
  public:
+  // `start_ns` anchors the wall-clock deadline: 0 (the default) means "now",
+  // a positive value is a MonotonicNowNs() timestamp taken earlier. A
+  // serving layer passes the request's *arrival* time so the deadline
+  // covers queue wait as well as execution (an admission-to-completion
+  // deadline), not just the time after a pool worker picked the task up.
   explicit GuardContext(const ExecutionBudget& budget,
-                        CancelToken* cancel = nullptr);
+                        CancelToken* cancel = nullptr, int64_t start_ns = 0);
 
   GuardContext(const GuardContext&) = delete;
   GuardContext& operator=(const GuardContext&) = delete;
@@ -111,6 +116,11 @@ class GuardContext {
 
 // The guard installed on the current thread, or nullptr when unguarded.
 GuardContext* Current();
+
+// The monotonic clock GuardContext deadlines are measured on, in
+// nanoseconds. Callers that want a deadline to start before the context
+// exists (e.g. at request arrival) capture this and pass it as `start_ns`.
+int64_t MonotonicNowNs();
 
 // Installs `ctx` into the thread-local slot for its scope and restores the
 // previous guard (usually nullptr) on destruction.

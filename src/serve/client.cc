@@ -1,0 +1,258 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace rtp::serve {
+
+StatusOr<Client> Client::Connect(const std::string& socket_path) {
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("invalid socket path '" + socket_path + "'");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket(): ") + strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = NotFoundError("cannot connect to rtpd at '" +
+                                  socket_path + "': " + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      read_buffer_(std::move(other.read_buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    read_buffer_ = std::move(other.read_buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendLine(const std::string& line) {
+  if (fd_ < 0) return FailedPreconditionError("client is closed");
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("send(): ") + strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::ReadLine() {
+  if (fd_ < 0) return FailedPreconditionError("client is closed");
+  char chunk[4096];
+  while (true) {
+    size_t nl = read_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = read_buffer_.substr(0, nl);
+      read_buffer_.erase(0, nl + 1);
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return InternalError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("recv(): ") + strerror(errno));
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<JsonValue> Client::Call(Request req) {
+  if (req.id == 0) req.id = next_id_++;
+  RTP_RETURN_IF_ERROR(SendLine(EncodeRequest(req).Serialize()));
+  RTP_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  RTP_ASSIGN_OR_RETURN(JsonValue response, JsonValue::Parse(line));
+  if (response.FindInt("id") != req.id) {
+    return InternalError("response id mismatch (sent " +
+                         std::to_string(req.id) + ", got '" + line + "')");
+  }
+  RTP_RETURN_IF_ERROR(ResponseStatus(response));
+  return response;
+}
+
+namespace {
+
+Request BaseRequest(std::string op, std::string tenant,
+                    const CallOptions& options) {
+  Request req;
+  req.op = std::move(op);
+  req.tenant = std::move(tenant);
+  if (options.budget.Limited()) {
+    req.budget = options.budget;
+    req.has_budget = true;
+  }
+  req.profile = options.profile;
+  return req;
+}
+
+}  // namespace
+
+Status Client::Load(const std::string& tenant, const std::string& doc,
+                    const std::string& xml_text, const CallOptions& options) {
+  Request req = BaseRequest("load", tenant, options);
+  req.doc = doc;
+  req.text = xml_text;
+  return Call(std::move(req)).status();
+}
+
+StatusOr<EvalResult> Client::Eval(const std::string& tenant,
+                                  const std::string& doc,
+                                  const std::string& pattern_text,
+                                  const CallOptions& options) {
+  Request req = BaseRequest("eval", tenant, options);
+  req.doc = doc;
+  req.text = pattern_text;
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  const JsonValue* tuples = response.Find("tuples");
+  if (tuples == nullptr || !tuples->is_array()) {
+    return InternalError("eval response without 'tuples' array");
+  }
+  EvalResult result;
+  result.tuples.reserve(tuples->array_items().size());
+  for (const JsonValue& row : tuples->array_items()) {
+    if (!row.is_array()) return InternalError("malformed eval tuple row");
+    std::vector<std::string> tuple;
+    tuple.reserve(row.array_items().size());
+    for (const JsonValue& item : row.array_items()) {
+      if (!item.is_string()) return InternalError("malformed eval tuple");
+      tuple.push_back(item.string_value());
+    }
+    result.tuples.push_back(std::move(tuple));
+  }
+  return result;
+}
+
+StatusOr<CheckFdResult> Client::CheckFd(const std::string& tenant,
+                                        const std::string& doc,
+                                        const std::string& fd_text,
+                                        const CallOptions& options) {
+  Request req = BaseRequest("checkfd", tenant, options);
+  req.doc = doc;
+  req.text = fd_text;
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  const JsonValue* satisfied = response.Find("satisfied");
+  if (satisfied == nullptr || !satisfied->is_bool()) {
+    return InternalError("checkfd response without 'satisfied'");
+  }
+  CheckFdResult result;
+  result.satisfied = satisfied->bool_value();
+  result.mappings = response.FindInt("mappings");
+  result.groups = response.FindInt("groups");
+  result.violation = response.FindString("violation");
+  return result;
+}
+
+StatusOr<MatrixResult> Client::Matrix(
+    const std::string& tenant, const std::vector<std::string>& fd_texts,
+    const std::vector<std::string>& class_texts,
+    const std::string& schema_text, const CallOptions& options) {
+  Request req = BaseRequest("matrix", tenant, options);
+  req.fds = fd_texts;
+  req.classes = class_texts;
+  req.schema = schema_text;
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  const JsonValue* entries = response.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return InternalError("matrix response without 'entries' array");
+  }
+  MatrixResult result;
+  result.num_fds = static_cast<size_t>(response.FindInt("num_fds"));
+  result.num_classes = static_cast<size_t>(response.FindInt("num_classes"));
+  result.independent = static_cast<size_t>(response.FindInt("independent"));
+  result.cells.reserve(entries->array_items().size());
+  for (const JsonValue& entry : entries->array_items()) {
+    if (!entry.is_object()) return InternalError("malformed matrix entry");
+    MatrixCell cell;
+    cell.fd_index = static_cast<size_t>(entry.FindInt("fd"));
+    cell.class_index = static_cast<size_t>(entry.FindInt("class"));
+    cell.independent = entry.FindBool("independent");
+    cell.product_size = entry.FindInt("product_size");
+    cell.status = StatusCodeFromName(entry.FindString("status", "OK"));
+    result.cells.push_back(cell);
+  }
+  return result;
+}
+
+StatusOr<std::vector<TenantStats>> Client::Stats() {
+  Request req;
+  req.op = "stats";
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  const JsonValue* tenants = response.Find("tenants");
+  if (tenants == nullptr || !tenants->is_array()) {
+    return InternalError("stats response without 'tenants' array");
+  }
+  std::vector<TenantStats> result;
+  result.reserve(tenants->array_items().size());
+  for (const JsonValue& t : tenants->array_items()) {
+    if (!t.is_object()) return InternalError("malformed tenant stats");
+    TenantStats stats;
+    stats.name = t.FindString("name");
+    stats.docs = t.FindInt("docs");
+    stats.requests = t.FindInt("requests");
+    stats.errors = t.FindInt("errors");
+    stats.trips = t.FindInt("trips");
+    result.push_back(std::move(stats));
+  }
+  return result;
+}
+
+StatusOr<bool> Client::Drop(const std::string& tenant,
+                            const std::string& doc) {
+  Request req;
+  req.op = "drop";
+  req.tenant = tenant;
+  req.doc = doc;
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  return response.FindBool("dropped");
+}
+
+Status Client::Quota(const std::string& tenant,
+                     const guard::ExecutionBudget& budget) {
+  Request req;
+  req.op = "quota";
+  req.tenant = tenant;
+  req.budget = budget;
+  req.has_budget = true;
+  return Call(std::move(req)).status();
+}
+
+Status Client::Shutdown() {
+  Request req;
+  req.op = "shutdown";
+  return Call(std::move(req)).status();
+}
+
+}  // namespace rtp::serve

@@ -1,0 +1,128 @@
+#ifndef RTP_SERVE_CLIENT_H_
+#define RTP_SERVE_CLIENT_H_
+
+// Client side of the rtpd wire protocol. This is the ONE client
+// implementation: the rtpd_client tool, the end-to-end test battery, and
+// the throughput bench all speak through it, so the protocol has exactly
+// one encoder/decoder per side and the golden transcripts pin both.
+//
+// A Client is a single connection with strictly sequential
+// request/response framing (the server responds in request order). It is
+// not thread-safe; concurrent callers each open their own Client, which
+// is also how the server's per-connection cancellation is scoped.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "guard/guard.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace rtp::serve {
+
+// Per-request options shared by the typed wrappers.
+struct CallOptions {
+  // When limited, sent as the request's budget object (otherwise the
+  // tenant default applies server-side).
+  guard::ExecutionBudget budget;
+  // Ask the server for a QueryProfile ("profile" field of the response).
+  bool profile = false;
+};
+
+struct EvalResult {
+  // tuples[i][j] is the XML serialization of tuple i's j-th subtree,
+  // sorted by document order — identical to rtp_cli eval output lines.
+  std::vector<std::vector<std::string>> tuples;
+};
+
+struct CheckFdResult {
+  bool satisfied = true;
+  int64_t mappings = 0;
+  int64_t groups = 0;
+  std::string violation;  // empty when satisfied
+};
+
+struct MatrixCell {
+  size_t fd_index = 0;
+  size_t class_index = 0;
+  bool independent = false;
+  int64_t product_size = 0;
+  // OK, or the resource code of a per-cell budget trip.
+  StatusCode status = StatusCode::kOk;
+};
+
+struct MatrixResult {
+  size_t num_fds = 0;
+  size_t num_classes = 0;
+  size_t independent = 0;
+  std::vector<MatrixCell> cells;
+};
+
+struct TenantStats {
+  std::string name;
+  int64_t docs = 0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  int64_t trips = 0;
+};
+
+class Client {
+ public:
+  // Connects to a listening rtpd socket.
+  static StatusOr<Client> Connect(const std::string& socket_path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends `req` (assigning the next sequential id when req.id == 0) and
+  // returns the decoded response envelope; {"ok":false} envelopes become
+  // the transported error Status. The full envelope is returned so
+  // callers can read op-specific fields (and tests can pin them).
+  StatusOr<JsonValue> Call(Request req);
+
+  // Typed wrappers (each one Call()).
+  Status Load(const std::string& tenant, const std::string& doc,
+              const std::string& xml_text, const CallOptions& options = {});
+  StatusOr<EvalResult> Eval(const std::string& tenant, const std::string& doc,
+                            const std::string& pattern_text,
+                            const CallOptions& options = {});
+  StatusOr<CheckFdResult> CheckFd(const std::string& tenant,
+                                  const std::string& doc,
+                                  const std::string& fd_text,
+                                  const CallOptions& options = {});
+  StatusOr<MatrixResult> Matrix(const std::string& tenant,
+                                const std::vector<std::string>& fd_texts,
+                                const std::vector<std::string>& class_texts,
+                                const std::string& schema_text = "",
+                                const CallOptions& options = {});
+  StatusOr<std::vector<TenantStats>> Stats();
+  StatusOr<bool> Drop(const std::string& tenant, const std::string& doc);
+  Status Quota(const std::string& tenant,
+               const guard::ExecutionBudget& budget);
+  Status Shutdown();
+
+  // Raw line I/O for the protocol and robustness tests (malformed bytes,
+  // mid-request disconnects). SendLine appends the newline itself;
+  // ReadLine strips it. ReadLine fails when the server closes first.
+  Status SendLine(const std::string& line);
+  StatusOr<std::string> ReadLine();
+
+  // The underlying socket (tests close/shutdown it to simulate aborts).
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+  std::string read_buffer_;
+};
+
+}  // namespace rtp::serve
+
+#endif  // RTP_SERVE_CLIENT_H_

@@ -1,0 +1,95 @@
+#ifndef RTP_SERVE_CORPUS_H_
+#define RTP_SERVE_CORPUS_H_
+
+// Multi-tenant corpus registry for rtpd.
+//
+// Each tenant owns a private Alphabet plus a map of named, pre-indexed
+// documents. Everything a tenant touches that mutates shared state —
+// interning labels while parsing XML / patterns / FDs, inserting or
+// dropping a corpus entry, changing the default budget — happens under
+// the tenant's shared_mutex in exclusive mode; evaluation and result
+// serialization (which only *read* the alphabet and the frozen DocIndex)
+// run under shared mode, so concurrent eval/checkfd/matrix requests of
+// one tenant proceed in parallel and requests of different tenants never
+// contend at all.
+//
+// A CorpusEntry heap-pins its Document: the shared DocIndex keeps a raw
+// back-pointer to the Document (xml/doc_index.h), and Document's move
+// constructor deliberately drops the snapshot slot, so the document must
+// never relocate while the index is alive. Load warms the lazy caches
+// (preorder index, Snapshot) while still exclusive; after publication the
+// entry is immutable and readers share it lock-free via shared_ptr.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "guard/guard.h"
+#include "obs/metrics.h"
+#include "xml/doc_index.h"
+#include "xml/document.h"
+
+namespace rtp::serve {
+
+// An immutable named document: loaded once, evaluated many times.
+struct CorpusEntry {
+  std::string name;
+  // Heap-pinned; `index` points back into it.
+  std::unique_ptr<xml::Document> doc;
+  std::shared_ptr<const xml::DocIndex> index;
+  size_t live_nodes = 0;
+};
+
+struct Tenant {
+  explicit Tenant(std::string tenant_name);
+
+  const std::string name;
+  Alphabet alphabet;
+
+  // Exclusive: parse phases (interning mutates the alphabet) and registry
+  // mutation. Shared: evaluation + serialization (alphabet reads).
+  std::shared_mutex mu;
+  std::map<std::string, std::shared_ptr<const CorpusEntry>> docs;
+
+  // Default budget for requests that carry none (set by the quota op);
+  // guarded by `mu` like the rest of the mutable state.
+  guard::ExecutionBudget default_budget;
+
+  // Deterministic per-tenant tallies for the stats op (the obs registry is
+  // process-global and approximate under concurrency; these are exact).
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> trips{0};
+
+  // Cached per-tenant obs counters ("serve.tenant.<name>.*"); null when
+  // the build disables obs. The tenant-name charset is validated by the
+  // protocol layer, so the names are injection-safe.
+  obs::Counter* m_requests = nullptr;
+  obs::Counter* m_errors = nullptr;
+  obs::Counter* m_trips = nullptr;
+};
+
+class TenantRegistry {
+ public:
+  // Finds or creates; creation is cheap (no documents yet).
+  std::shared_ptr<Tenant> GetOrCreate(const std::string& name);
+
+  // Nullptr when the tenant was never seen.
+  std::shared_ptr<Tenant> Find(const std::string& name) const;
+
+  // All tenants sorted by name (the stats op's deterministic order).
+  std::vector<std::shared_ptr<Tenant>> All() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace rtp::serve
+
+#endif  // RTP_SERVE_CORPUS_H_

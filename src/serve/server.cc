@@ -1,0 +1,796 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+
+#include "exec/automaton_cache.h"
+#include "fd/fd_checker.h"
+#include "independence/matrix.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "pattern/evaluator.h"
+#include "pattern/pattern_parser.h"
+#include "schema/schema.h"
+#include "serve/json.h"
+#include "update/update_class.h"
+#include "xml/xml_io.h"
+
+// POLLRDHUP (peer closed its write side) is the reliable mid-request
+// disconnect signal on Linux; glibc exposes it under _GNU_SOURCE, which
+// g++ defines for C++, but guard the definition for other libcs.
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
+
+namespace rtp::serve {
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PeerDisconnected(int fd) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLRDHUP;
+  p.revents = 0;
+  if (::poll(&p, 1, 0) <= 0) return false;
+  return (p.revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+// Per-op request counters; one macro call site per op so each caches its
+// own counter pointer.
+void CountOp(const std::string& op) {
+  if (op == "load") RTP_OBS_COUNT("serve.requests.load");
+  else if (op == "eval") RTP_OBS_COUNT("serve.requests.eval");
+  else if (op == "checkfd") RTP_OBS_COUNT("serve.requests.checkfd");
+  else if (op == "matrix") RTP_OBS_COUNT("serve.requests.matrix");
+  else if (op == "stats") RTP_OBS_COUNT("serve.requests.stats");
+  else if (op == "drop") RTP_OBS_COUNT("serve.requests.drop");
+  else if (op == "quota") RTP_OBS_COUNT("serve.requests.quota");
+  else if (op == "shutdown") RTP_OBS_COUNT("serve.requests.shutdown");
+}
+
+// Embeds a QueryProfile into a response as structured JSON (the profile's
+// own serializer emits one JSON object).
+void AttachProfile(JsonValue* response, const obs::QueryProfile& profile) {
+  auto parsed = JsonValue::Parse(profile.ToJson());
+  response->Add("profile", parsed.ok() ? std::move(parsed).value()
+                                       : JsonValue::Null());
+}
+
+}  // namespace
+
+// One accepted client. The connection thread owns the socket for reads
+// and writes; pool tasks only touch the CancelToken (via pointer) and
+// never the fd.
+struct Server::Connection {
+  int fd = -1;
+  std::thread thread;
+  guard::CancelToken cancel;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(options));
+  RTP_RETURN_IF_ERROR(server->Listen());
+  server->pool_ = std::make_unique<exec::ThreadPool>(
+      std::max(1, options.jobs), options.queue_capacity);
+  server->accept_thread_ = std::thread(&Server::AcceptLoop, server.get());
+  RTP_LOG(INFO) << "rtpd listening on " << options.socket_path << " ("
+                << std::max(1, options.jobs) << " workers)";
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  if (options_.socket_path.empty()) {
+    return InvalidArgumentError("socket_path must not be empty");
+  }
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path '" + options_.socket_path +
+                                "' exceeds the AF_UNIX path limit");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("socket(): ") + strerror(errno));
+  }
+  // A stale socket file from a crashed predecessor would make bind fail
+  // with EADDRINUSE; the path is ours by contract, so replace it.
+  ::unlink(options_.socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, options_.socket_path.c_str(),
+         options_.socket_path.size());
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return InternalError("bind('" + options_.socket_path +
+                         "'): " + strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return InternalError(std::string("listen(): ") + strerror(errno));
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return InternalError(std::string("pipe(): ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+bool Server::WaitFor(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return stop_requested_; });
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    if (stopped_) return;  // another caller already tore down
+    stopped_ = true;
+  }
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+  }
+  // Unblock every connection thread's recv; their in-flight pool tasks see
+  // the cancel token fire when the thread notices the closed socket.
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  pool_.reset();  // drains any still-queued tasks
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  RTP_LOG(INFO) << "rtpd stopped (" << options_.socket_path << ")";
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) {
+        ::close(fd);
+        break;
+      }
+      // Reap connections whose threads already finished, so a long-lived
+      // server does not accumulate dead fds/threads.
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          ::close((*it)->fd);
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      connections_.push_back(std::move(conn));
+      // Spawned under the lock so Stop()'s swap always observes a
+      // joinable thread for every registered connection.
+      raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+      RTP_OBS_GAUGE_SET("serve.connections.active", connections_.size());
+    }
+    RTP_OBS_COUNT("serve.connections.accepted");
+  }
+}
+
+void Server::ServeConnection(Connection* conn) {
+  std::string buffer;
+  bool skipping = false;  // discarding the tail of an oversized line
+  bool alive = true;
+  char chunk[4096];
+  while (alive) {
+    size_t nl;
+    while (alive && (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (skipping) {
+        skipping = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = HandleLine(conn, line);
+      if (response.empty()) continue;  // reply already sent (shutdown)
+      response.push_back('\n');
+      alive = SendAll(conn->fd, response);
+    }
+    if (!alive) break;
+    if (buffer.size() > options_.max_line_bytes) {
+      RTP_OBS_COUNT("serve.errors.oversized");
+      std::string response =
+          MakeErrorResponse(
+              0, ResourceExhaustedError(
+                     "request line exceeds " +
+                     std::to_string(options_.max_line_bytes) + " bytes"))
+              .Serialize();
+      response.push_back('\n');
+      alive = SendAll(conn->fd, response);
+      buffer.clear();
+      skipping = true;
+      if (!alive) break;
+    }
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // disconnect, error, or Stop()'s shutdown()
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  RTP_OBS_COUNT("serve.connections.closed");
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string Server::HandleLine(Connection* conn, const std::string& line) {
+  int64_t arrival_ns = guard::MonotonicNowNs();
+  auto parsed_or = JsonValue::Parse(line);
+  if (!parsed_or.ok()) {
+    RTP_OBS_COUNT("serve.errors.protocol");
+    return MakeErrorResponse(0, parsed_or.status()).Serialize();
+  }
+  // Echo the id even for requests that fail validation, as long as the
+  // line was at least JSON with a numeric id.
+  int64_t fallback_id =
+      parsed_or->is_object() ? parsed_or->FindInt("id") : 0;
+  auto req_or = DecodeRequest(*parsed_or);
+  if (!req_or.ok()) {
+    RTP_OBS_COUNT("serve.errors.protocol");
+    return MakeErrorResponse(fallback_id, req_or.status()).Serialize();
+  }
+  Request req = std::move(req_or).value();
+  CountOp(req.op);
+
+  JsonValue response;
+  if (req.op == "stats") {
+    response = HandleStats(req);
+  } else if (req.op == "shutdown") {
+    // Reply before raising the stop flag: once Stop() runs it shuts this
+    // socket down, so the acknowledgement must already be in flight.
+    response = MakeOkResponse(req.id);
+    response.Add("stopping", JsonValue::Bool(true));
+    std::string framed = response.Serialize();
+    framed.push_back('\n');
+    SendAll(conn->fd, framed);
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    return std::string();
+  } else if (req.op == "drop" || req.op == "quota") {
+    // Registry-only ops: cheap enough to run on the connection thread.
+    response = HandleRequest(conn, req, arrival_ns);
+  } else {
+    // Heavy ops run on the shared pool; a full queue sheds the request
+    // instead of queueing the connection thread behind it.
+    struct Pending {
+      std::mutex m;
+      std::condition_variable cv;
+      bool done = false;
+      JsonValue response;
+    };
+    auto pending = std::make_shared<Pending>();
+    auto shared_req = std::make_shared<Request>(std::move(req));
+    bool admitted =
+        pool_->TrySubmit([this, conn, shared_req, arrival_ns, pending] {
+          JsonValue result = HandleRequest(conn, *shared_req, arrival_ns);
+          std::lock_guard<std::mutex> lock(pending->m);
+          pending->response = std::move(result);
+          pending->done = true;
+          pending->cv.notify_all();
+        });
+    if (!admitted) {
+      RTP_OBS_COUNT("serve.requests.shed");
+      response = MakeErrorResponse(
+          shared_req->id,
+          ResourceExhaustedError("server overloaded: request queue is full"));
+    } else {
+      // Await completion while watching the socket: a peer that hangs up
+      // mid-request cancels the connection token, and every guard wired
+      // to it trips, so abandoned work drains instead of running to the
+      // bitter end.
+      std::unique_lock<std::mutex> lock(pending->m);
+      while (!pending->done) {
+        pending->cv.wait_for(lock, std::chrono::milliseconds(50));
+        if (pending->done) break;
+        lock.unlock();
+        if (PeerDisconnected(conn->fd)) conn->cancel.Cancel();
+        lock.lock();
+      }
+      response = std::move(pending->response);
+    }
+  }
+  RTP_OBS_HISTOGRAM_RECORD("serve.request_ns",
+                           guard::MonotonicNowNs() - arrival_ns);
+  return response.Serialize();
+}
+
+JsonValue Server::HandleRequest(Connection* conn, const Request& req,
+                                int64_t arrival_ns) {
+  std::shared_ptr<Tenant> tenant;
+  if (req.op == "load" || req.op == "quota") {
+    tenant = tenants_.GetOrCreate(req.tenant);
+  } else {
+    tenant = tenants_.Find(req.tenant);
+    if (tenant == nullptr) {
+      RTP_OBS_COUNT("serve.errors.request");
+      return MakeErrorResponse(
+          req.id, NotFoundError("unknown tenant '" + req.tenant + "'"));
+    }
+  }
+  tenant->requests.fetch_add(1, std::memory_order_relaxed);
+  if (tenant->m_requests != nullptr) tenant->m_requests->Add(1);
+
+  guard::ExecutionBudget budget = req.budget;
+  if (!req.has_budget) {
+    std::shared_lock<std::shared_mutex> lock(tenant->mu);
+    budget = tenant->default_budget.Limited() ? tenant->default_budget
+                                              : options_.default_budget;
+  }
+
+  JsonValue response;
+  if (req.op == "load") {
+    response = HandleLoad(*tenant, req, budget, &conn->cancel, arrival_ns);
+  } else if (req.op == "eval") {
+    response = HandleEval(*tenant, req, budget, &conn->cancel, arrival_ns);
+  } else if (req.op == "checkfd") {
+    response = HandleCheckFd(*tenant, req, budget, &conn->cancel, arrival_ns);
+  } else if (req.op == "matrix") {
+    response = HandleMatrix(*tenant, req, budget, &conn->cancel);
+  } else if (req.op == "drop") {
+    response = HandleDrop(*tenant, req);
+  } else if (req.op == "quota") {
+    response = HandleQuota(*tenant, req);
+  } else {
+    response = MakeErrorResponse(req.id, InternalError("unroutable op"));
+  }
+
+  const JsonValue* ok = response.Find("ok");
+  if (ok != nullptr && ok->is_bool() && !ok->bool_value()) {
+    tenant->errors.fetch_add(1, std::memory_order_relaxed);
+    if (tenant->m_errors != nullptr) tenant->m_errors->Add(1);
+    const JsonValue* error = response.Find("error");
+    StatusCode code = error != nullptr
+                          ? StatusCodeFromName(error->FindString("code"))
+                          : StatusCode::kInternal;
+    if (guard::IsResourceCode(code)) {
+      tenant->trips.fetch_add(1, std::memory_order_relaxed);
+      if (tenant->m_trips != nullptr) tenant->m_trips->Add(1);
+      RTP_OBS_COUNT("serve.trips");
+    } else {
+      RTP_OBS_COUNT("serve.errors.request");
+    }
+  }
+  return response;
+}
+
+JsonValue Server::HandleLoad(Tenant& tenant, const Request& req,
+                             const guard::ExecutionBudget& budget,
+                             guard::CancelToken* cancel, int64_t arrival_ns) {
+  if (req.doc.empty() || req.text.empty()) {
+    return MakeErrorResponse(
+        req.id, InvalidArgumentError("load requires 'doc' and 'text'"));
+  }
+  obs::QueryProfile profile;
+  Status status;
+  size_t live_nodes = 0;
+  {
+    // Exclusive: parsing interns labels into the tenant alphabet, and the
+    // lazy Document caches (preorder index, Snapshot) must be warmed
+    // before any concurrent reader can see the entry.
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    guard::GuardContext ctx(budget, cancel, arrival_ns);
+    guard::ScopedGuard scope(&ctx);
+    obs::ProfileScope prof("serve.load", req.profile ? &profile : nullptr);
+    auto doc_or = xml::ParseXml(&tenant.alphabet, req.text);
+    if (!doc_or.ok()) {
+      status = doc_or.status();
+    } else {
+      auto doc = std::make_unique<xml::Document>(std::move(doc_or).value());
+      doc->PreorderIndex(doc->root());
+      std::shared_ptr<const xml::DocIndex> index = doc->Snapshot();
+      status = guard::CurrentStatus();
+      if (status.ok()) {
+        auto entry = std::make_shared<CorpusEntry>();
+        entry->name = req.doc;
+        entry->live_nodes = doc->LiveNodeCount();
+        entry->index = std::move(index);
+        entry->doc = std::move(doc);
+        live_nodes = entry->live_nodes;
+        tenant.docs[req.doc] = std::move(entry);  // replaces any previous
+      }
+    }
+  }
+  if (!status.ok()) {
+    JsonValue response = MakeErrorResponse(req.id, status);
+    if (req.profile) AttachProfile(&response, profile);
+    return response;
+  }
+  JsonValue response = MakeOkResponse(req.id);
+  response.Add("doc", JsonValue::String(req.doc));
+  response.Add("nodes", JsonValue::Int(static_cast<int64_t>(live_nodes)));
+  if (req.profile) AttachProfile(&response, profile);
+  return response;
+}
+
+JsonValue Server::HandleEval(Tenant& tenant, const Request& req,
+                             const guard::ExecutionBudget& budget,
+                             guard::CancelToken* cancel, int64_t arrival_ns) {
+  if (req.doc.empty() || req.text.empty()) {
+    return MakeErrorResponse(
+        req.id, InvalidArgumentError("eval requires 'doc' and 'text'"));
+  }
+  std::shared_ptr<const CorpusEntry> entry;
+  std::optional<StatusOr<pattern::ParsedPattern>> parsed;
+  {
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    auto it = tenant.docs.find(req.doc);
+    if (it == tenant.docs.end()) {
+      return MakeErrorResponse(
+          req.id, NotFoundError("tenant '" + tenant.name +
+                                "' has no document '" + req.doc + "'"));
+    }
+    entry = it->second;
+    parsed.emplace(pattern::ParsePattern(&tenant.alphabet, req.text));
+  }
+  if (!parsed->ok()) return MakeErrorResponse(req.id, parsed->status());
+
+  obs::QueryProfile profile;
+  JsonValue tuples_json = JsonValue::Array();
+  size_t count = 0;
+  {
+    // Shared: evaluation and serialization read the alphabet and the
+    // frozen index; loads of other documents can intern concurrently
+    // only under the exclusive lock.
+    std::shared_lock<std::shared_mutex> lock(tenant.mu);
+    guard::GuardContext ctx(budget, cancel, arrival_ns);
+    guard::ScopedGuard scope(&ctx);
+    auto tuples = pattern::EvaluateSelected(parsed->value().pattern,
+                                            *entry->index,
+                                            req.profile ? &profile : nullptr);
+    Status status = guard::CurrentStatus();
+    if (!status.ok()) {
+      JsonValue response = MakeErrorResponse(req.id, status);
+      if (req.profile) AttachProfile(&response, profile);
+      return response;
+    }
+    // Document order, then subtree serialization — the exact output
+    // contract of `rtp_cli eval`, so serve results are bit-comparable to
+    // serial library runs.
+    const xml::Document& doc = entry->index->doc();
+    std::sort(tuples.begin(), tuples.end(),
+              [&doc](const std::vector<xml::NodeId>& a,
+                     const std::vector<xml::NodeId>& b) {
+                for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                  uint32_t pa = doc.PreorderIndex(a[i]);
+                  uint32_t pb = doc.PreorderIndex(b[i]);
+                  if (pa != pb) return pa < pb;
+                }
+                return a.size() < b.size();
+              });
+    count = tuples.size();
+    for (const auto& tuple : tuples) {
+      JsonValue row = JsonValue::Array();
+      for (xml::NodeId n : tuple) {
+        row.Push(JsonValue::String(
+            xml::WriteXmlSubtree(doc, n, /*indent=*/false)));
+      }
+      tuples_json.Push(std::move(row));
+    }
+  }
+  JsonValue response = MakeOkResponse(req.id);
+  response.Add("count", JsonValue::Int(static_cast<int64_t>(count)));
+  response.Add("tuples", std::move(tuples_json));
+  if (req.profile) AttachProfile(&response, profile);
+  return response;
+}
+
+JsonValue Server::HandleCheckFd(Tenant& tenant, const Request& req,
+                                const guard::ExecutionBudget& budget,
+                                guard::CancelToken* cancel,
+                                int64_t arrival_ns) {
+  if (req.doc.empty() || req.text.empty()) {
+    return MakeErrorResponse(
+        req.id, InvalidArgumentError("checkfd requires 'doc' and 'text'"));
+  }
+  std::shared_ptr<const CorpusEntry> entry;
+  std::optional<fd::FunctionalDependency> fd;
+  {
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    auto it = tenant.docs.find(req.doc);
+    if (it == tenant.docs.end()) {
+      return MakeErrorResponse(
+          req.id, NotFoundError("tenant '" + tenant.name +
+                                "' has no document '" + req.doc + "'"));
+    }
+    entry = it->second;
+    auto parsed = pattern::ParsePattern(&tenant.alphabet, req.text);
+    if (!parsed.ok()) return MakeErrorResponse(req.id, parsed.status());
+    auto fd_or =
+        fd::FunctionalDependency::FromParsed(std::move(parsed).value());
+    if (!fd_or.ok()) return MakeErrorResponse(req.id, fd_or.status());
+    fd.emplace(std::move(fd_or).value());
+  }
+
+  obs::QueryProfile profile;
+  fd::CheckResult result;
+  std::string violation_text;
+  {
+    std::shared_lock<std::shared_mutex> lock(tenant.mu);
+    // The ambient request guard (arrival-anchored deadline, shared cancel
+    // token) covers the check; CheckOptions deliberately carries no
+    // budget, so CheckFd's own guard scope stays disengaged and its
+    // result.status surfaces this guard's trip.
+    guard::GuardContext ctx(budget, cancel, arrival_ns);
+    guard::ScopedGuard scope(&ctx);
+    fd::CheckOptions options;
+    options.profile = req.profile ? &profile : nullptr;
+    result = fd::CheckFd(*fd, *entry->index, options);
+    if (result.status.ok() && !result.satisfied) {
+      violation_text =
+          result.violation->Describe(entry->index->doc(), *fd);
+    }
+  }
+  if (!result.status.ok()) {
+    JsonValue response = MakeErrorResponse(req.id, result.status);
+    if (req.profile) AttachProfile(&response, profile);
+    return response;
+  }
+  JsonValue response = MakeOkResponse(req.id);
+  response.Add("satisfied", JsonValue::Bool(result.satisfied));
+  response.Add("mappings",
+               JsonValue::Int(static_cast<int64_t>(result.num_mappings)));
+  response.Add("groups",
+               JsonValue::Int(static_cast<int64_t>(result.num_groups)));
+  if (!result.satisfied) {
+    response.Add("violation", JsonValue::String(violation_text));
+  }
+  if (req.profile) AttachProfile(&response, profile);
+  return response;
+}
+
+JsonValue Server::HandleMatrix(Tenant& tenant, const Request& req,
+                               const guard::ExecutionBudget& budget,
+                               guard::CancelToken* cancel) {
+  if (req.fds.empty() || req.classes.empty()) {
+    return MakeErrorResponse(
+        req.id,
+        InvalidArgumentError("matrix requires 'fds' and 'classes' arrays"));
+  }
+  std::vector<fd::FunctionalDependency> fds;
+  std::vector<update::UpdateClass> classes;
+  std::optional<schema::Schema> schema;
+  {
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    for (const std::string& text : req.fds) {
+      auto parsed = pattern::ParsePattern(&tenant.alphabet, text);
+      if (!parsed.ok()) return MakeErrorResponse(req.id, parsed.status());
+      auto fd_or =
+          fd::FunctionalDependency::FromParsed(std::move(parsed).value());
+      if (!fd_or.ok()) return MakeErrorResponse(req.id, fd_or.status());
+      fds.push_back(std::move(fd_or).value());
+    }
+    for (const std::string& text : req.classes) {
+      auto parsed = pattern::ParsePattern(&tenant.alphabet, text);
+      if (!parsed.ok()) return MakeErrorResponse(req.id, parsed.status());
+      auto cls_or = update::UpdateClass::FromParsed(std::move(parsed).value());
+      if (!cls_or.ok()) return MakeErrorResponse(req.id, cls_or.status());
+      classes.push_back(std::move(cls_or).value());
+    }
+    if (!req.schema.empty()) {
+      auto schema_or = schema::Schema::Parse(&tenant.alphabet, req.schema);
+      if (!schema_or.ok()) return MakeErrorResponse(req.id, schema_or.status());
+      schema.emplace(std::move(schema_or).value());
+    }
+  }
+
+  std::vector<const fd::FunctionalDependency*> fd_ptrs;
+  fd_ptrs.reserve(fds.size());
+  for (const auto& fd : fds) fd_ptrs.push_back(&fd);
+  std::vector<const update::UpdateClass*> class_ptrs;
+  class_ptrs.reserve(classes.size());
+  for (const auto& cls : classes) class_ptrs.push_back(&cls);
+
+  std::vector<obs::QueryProfile> cell_profiles;
+  std::optional<StatusOr<independence::IndependenceMatrix>> matrix_or;
+  {
+    std::shared_lock<std::shared_mutex> lock(tenant.mu);
+    independence::MatrixOptions options;
+    options.pool = pool_.get();
+    if (budget.Limited()) {
+      // Budgeted: per-pair guards, per-cell degradation, and the shared
+      // cancel token. The criterion bypasses the shared AutomatonCache
+      // under a guard (a tripped build must never be memoized), so the
+      // cache stays warm and un-poisoned for unbudgeted requests.
+      options.budget = budget;
+      options.cancel = cancel;
+    } else {
+      // Unbudgeted: run against the process-wide warm cache. No cancel
+      // token — wiring one would force the cache bypass and cost every
+      // fast request its warm automata to support a rare disconnect.
+      options.cache = &exec::AutomatonCache::Global();
+    }
+    if (req.profile) options.profiles = &cell_profiles;
+    matrix_or.emplace(independence::ComputeIndependenceMatrix(
+        fd_ptrs, class_ptrs, schema ? &*schema : nullptr, &tenant.alphabet,
+        options));
+  }
+  if (!matrix_or->ok()) return MakeErrorResponse(req.id, matrix_or->status());
+  const independence::IndependenceMatrix& matrix = matrix_or->value();
+
+  size_t independent = 0;
+  size_t tripped = 0;
+  JsonValue entries = JsonValue::Array();
+  for (const independence::MatrixEntry& entry : matrix.entries) {
+    JsonValue cell = JsonValue::Object();
+    cell.Add("fd", JsonValue::Int(static_cast<int64_t>(entry.fd_index)));
+    cell.Add("class",
+             JsonValue::Int(static_cast<int64_t>(entry.class_index)));
+    cell.Add("independent", JsonValue::Bool(entry.independent));
+    cell.Add("product_size", JsonValue::Int(entry.product_size));
+    if (!entry.status.ok()) {
+      cell.Add("status",
+               JsonValue::String(StatusCodeName(entry.status.code())));
+      ++tripped;
+    }
+    if (entry.independent) ++independent;
+    entries.Push(std::move(cell));
+  }
+  if (tripped > 0) {
+    // Per-cell resource degradation: the response is still ok (tripped
+    // cells carry the conservative not-independent verdict), but the
+    // trips are tallied like request-level ones.
+    tenant.trips.fetch_add(tripped, std::memory_order_relaxed);
+    if (tenant.m_trips != nullptr) tenant.m_trips->Add(tripped);
+    RTP_OBS_COUNT_N("serve.trips", tripped);
+  }
+
+  JsonValue response = MakeOkResponse(req.id);
+  response.Add("num_fds",
+               JsonValue::Int(static_cast<int64_t>(matrix.num_fds)));
+  response.Add("num_classes",
+               JsonValue::Int(static_cast<int64_t>(matrix.num_classes)));
+  response.Add("independent",
+               JsonValue::Int(static_cast<int64_t>(independent)));
+  response.Add("entries", std::move(entries));
+  if (req.profile) {
+    JsonValue profiles = JsonValue::Array();
+    for (const obs::QueryProfile& p : cell_profiles) {
+      auto parsed = JsonValue::Parse(p.ToJson());
+      profiles.Push(parsed.ok() ? std::move(parsed).value()
+                                : JsonValue::Null());
+    }
+    response.Add("profiles", std::move(profiles));
+  }
+  return response;
+}
+
+JsonValue Server::HandleStats(const Request& req) {
+  JsonValue response = MakeOkResponse(req.id);
+  JsonValue tenants = JsonValue::Array();
+  for (const std::shared_ptr<Tenant>& tenant : tenants_.All()) {
+    JsonValue t = JsonValue::Object();
+    t.Add("name", JsonValue::String(tenant->name));
+    size_t num_docs;
+    {
+      std::shared_lock<std::shared_mutex> lock(tenant->mu);
+      num_docs = tenant->docs.size();
+    }
+    t.Add("docs", JsonValue::Int(static_cast<int64_t>(num_docs)));
+    t.Add("requests", JsonValue::Int(static_cast<int64_t>(
+                          tenant->requests.load(std::memory_order_relaxed))));
+    t.Add("errors", JsonValue::Int(static_cast<int64_t>(
+                        tenant->errors.load(std::memory_order_relaxed))));
+    t.Add("trips", JsonValue::Int(static_cast<int64_t>(
+                       tenant->trips.load(std::memory_order_relaxed))));
+    tenants.Push(std::move(t));
+  }
+  response.Add("tenants", std::move(tenants));
+  if (req.metrics) {
+    auto parsed = JsonValue::Parse(obs::DumpJson());
+    response.Add("metrics", parsed.ok() ? std::move(parsed).value()
+                                        : JsonValue::Null());
+  }
+  return response;
+}
+
+JsonValue Server::HandleDrop(Tenant& tenant, const Request& req) {
+  if (req.doc.empty()) {
+    return MakeErrorResponse(req.id,
+                             InvalidArgumentError("drop requires 'doc'"));
+  }
+  bool dropped;
+  {
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    dropped = tenant.docs.erase(req.doc) > 0;
+  }
+  JsonValue response = MakeOkResponse(req.id);
+  response.Add("dropped", JsonValue::Bool(dropped));
+  return response;
+}
+
+JsonValue Server::HandleQuota(Tenant& tenant, const Request& req) {
+  if (!req.has_budget) {
+    return MakeErrorResponse(
+        req.id, InvalidArgumentError("quota requires a 'budget' object"));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(tenant.mu);
+    tenant.default_budget = req.budget;
+  }
+  JsonValue response = MakeOkResponse(req.id);
+  JsonValue budget = JsonValue::Object();
+  budget.Add("deadline_ms", JsonValue::Int(req.budget.deadline_ms));
+  budget.Add("max_states", JsonValue::Int(req.budget.max_automaton_states));
+  budget.Add("max_steps", JsonValue::Int(req.budget.max_steps));
+  budget.Add("max_memory_mb",
+             JsonValue::Int(req.budget.max_memory_bytes >> 20));
+  response.Add("budget", std::move(budget));
+  return response;
+}
+
+}  // namespace rtp::serve

@@ -1,0 +1,141 @@
+#ifndef RTP_SERVE_SERVER_H_
+#define RTP_SERVE_SERVER_H_
+
+// rtpd — resident multi-tenant query service (docs/SERVING.md).
+//
+// A Server listens on a local AF_UNIX stream socket and speaks the
+// line-delimited JSON protocol of serve/protocol.h. Architecture:
+//
+//   * One accept thread plus one thread per connection. Connection
+//     threads only do I/O and framing; the heavy ops (load, eval,
+//     checkfd, matrix) run as tasks on a shared rtp::exec::ThreadPool,
+//     admitted with TrySubmit — a full queue sheds the request with a
+//     RESOURCE_EXHAUSTED response instead of stacking up blocked threads.
+//   * State lives in a TenantRegistry (serve/corpus.h): per-tenant
+//     alphabet + named pre-indexed documents, exclusive-locked for parse
+//     phases and shared-locked for evaluation, so one tenant's load never
+//     stalls another tenant's queries.
+//   * Every request runs under the guard machinery: the effective budget
+//     is the request's, else the tenant default (quota op), else the
+//     server default. Deadlines are anchored at request *arrival* (queue
+//     wait counts). Each connection owns a guard::CancelToken that the
+//     connection thread cancels when the peer disconnects mid-request, so
+//     abandoned work drains promptly. A trip degrades only the offending
+//     request: the response carries the resource status and the process
+//     (including the warm AutomatonCache) is untouched — budget-limited
+//     matrix requests deliberately bypass the shared cache, which must
+//     never memoize partially-built automata.
+//   * Observability: per-request QueryProfile on demand ("profile":true),
+//     serve.* counters/histograms, per-tenant serve.tenant.<name>.*
+//     counters, plus the library's own metrics.
+//
+// Determinism contract: responses for load/eval/checkfd/matrix are
+// byte-identical to the equivalent serial library calls (eval tuples are
+// sorted by document order and serialized with WriteXmlSubtree, exactly
+// like rtp_cli), which is what the end-to-end battery in
+// tests/serve_test.cc checks against its in-process oracle.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "guard/guard.h"
+#include "serve/corpus.h"
+#include "serve/protocol.h"
+
+namespace rtp::serve {
+
+struct ServerOptions {
+  // Filesystem path of the AF_UNIX socket. A stale socket file from a
+  // previous run is replaced.
+  std::string socket_path;
+  // Worker threads for request execution (not connection I/O).
+  int jobs = 2;
+  // Tasks admitted but not yet started before TrySubmit sheds load.
+  size_t queue_capacity = 1024;
+  // A request line longer than this is rejected with RESOURCE_EXHAUSTED
+  // and skipped (the connection survives).
+  size_t max_line_bytes = 1 << 20;
+  // Budget for requests that carry none and whose tenant has no default.
+  guard::ExecutionBudget default_budget;
+};
+
+class Server {
+ public:
+  // Binds, listens, and starts the accept thread. The returned server is
+  // serving when this returns.
+  static StatusOr<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  // Stops and joins everything (idempotent with Stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Blocks until a shutdown request arrives or Stop() is called.
+  void Wait();
+  // Bounded Wait: true when the server has been asked to stop.
+  bool WaitFor(int timeout_ms);
+
+  // Initiates shutdown: stops accepting, shuts down live connections
+  // (in-flight tasks run to completion — their cancel tokens fire, so
+  // guarded work exits promptly), joins all threads, removes the socket
+  // file. Safe to call from any thread; idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection;
+
+  explicit Server(ServerOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  // Frames one request line into one response line.
+  std::string HandleLine(Connection* conn, const std::string& line);
+  // Dispatches a decoded request (runs on a pool worker for heavy ops).
+  JsonValue HandleRequest(Connection* conn, const Request& req,
+                          int64_t arrival_ns);
+
+  JsonValue HandleLoad(Tenant& tenant, const Request& req,
+                       const guard::ExecutionBudget& budget,
+                       guard::CancelToken* cancel, int64_t arrival_ns);
+  JsonValue HandleEval(Tenant& tenant, const Request& req,
+                       const guard::ExecutionBudget& budget,
+                       guard::CancelToken* cancel, int64_t arrival_ns);
+  JsonValue HandleCheckFd(Tenant& tenant, const Request& req,
+                          const guard::ExecutionBudget& budget,
+                          guard::CancelToken* cancel, int64_t arrival_ns);
+  JsonValue HandleMatrix(Tenant& tenant, const Request& req,
+                         const guard::ExecutionBudget& budget,
+                         guard::CancelToken* cancel);
+  JsonValue HandleStats(const Request& req);
+  JsonValue HandleDrop(Tenant& tenant, const Request& req);
+  JsonValue HandleQuota(Tenant& tenant, const Request& req);
+
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  // Self-pipe that wakes the accept loop's poll on Stop().
+  int wake_pipe_[2] = {-1, -1};
+
+  std::unique_ptr<exec::ThreadPool> pool_;
+  TenantRegistry tenants_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;  // Stop() ran to completion
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace rtp::serve
+
+#endif  // RTP_SERVE_SERVER_H_

@@ -1,0 +1,134 @@
+// Golden wire-protocol tests for rtpd. The transcripts in examples/serve
+// are the protocol's compatibility contract: each `>` line is sent to a
+// fresh server byte-for-byte and the reply must match the `<` pattern
+// (JSON-structural, order-insensitive; a string "*" in the pattern
+// wildcards volatile fields like timing-dependent messages). Renaming a
+// response field or bumping schema_version breaks these tests on
+// purpose — update the transcripts in the same change.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace rtp::serve {
+namespace {
+
+std::string TempSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/rtp_serve_proto_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::vector<std::string> TranscriptFiles() {
+  // Transcript set is fixed (additions come with protocol changes), so an
+  // explicit list keeps failures attributable without directory iteration.
+  return {
+      "session.txt",
+      "errors.txt",
+      "budget.txt",
+  };
+}
+
+struct TranscriptStep {
+  int line_number;
+  std::string direction;  // ">" or "<"
+  std::string payload;
+};
+
+std::vector<TranscriptStep> ParseTranscript(const std::string& path) {
+  std::vector<TranscriptStep> steps;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open transcript " << path;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_GE(line.size(), 2u) << path << ":" << line_number;
+    EXPECT_TRUE(line[0] == '>' || line[0] == '<')
+        << path << ":" << line_number << ": lines must start with > or <";
+    EXPECT_EQ(line[1], ' ') << path << ":" << line_number;
+    steps.push_back({line_number, line.substr(0, 1), line.substr(2)});
+  }
+  return steps;
+}
+
+TEST(ServeProtocolTest, SchemaVersionIsPinned) {
+  // Bumping this is a protocol break: regenerate every transcript in
+  // examples/serve and say so in the changelog.
+  EXPECT_EQ(kProtocolSchemaVersion, 1);
+}
+
+TEST(ServeProtocolTest, RequestEncodingIsPinned) {
+  Request req;
+  req.id = 7;
+  req.op = "eval";
+  req.tenant = "alpha";
+  req.doc = "exam";
+  req.text = "root { x = a; } select x;";
+  EXPECT_EQ(EncodeRequest(req).Serialize(),
+            "{\"id\":7,\"v\":1,\"op\":\"eval\",\"tenant\":\"alpha\","
+            "\"doc\":\"exam\",\"text\":\"root { x = a; } select x;\"}");
+
+  Request budgeted;
+  budgeted.id = 8;
+  budgeted.op = "quota";
+  budgeted.tenant = "beta";
+  budgeted.has_budget = true;
+  budgeted.budget.deadline_ms = 250;
+  budgeted.budget.max_steps = 1000;
+  EXPECT_EQ(EncodeRequest(budgeted).Serialize(),
+            "{\"id\":8,\"v\":1,\"op\":\"quota\",\"tenant\":\"beta\","
+            "\"budget\":{\"deadline_ms\":250,\"max_steps\":1000}}");
+}
+
+TEST(ServeProtocolTest, GoldenTranscriptsReplay) {
+  for (const std::string& name : TranscriptFiles()) {
+    SCOPED_TRACE(name);
+    const std::string path =
+        std::string(RTP_SERVE_TRANSCRIPT_DIR) + "/" + name;
+    std::vector<TranscriptStep> steps = ParseTranscript(path);
+    ASSERT_FALSE(steps.empty());
+
+    ServerOptions options;
+    options.socket_path = TempSocketPath();
+    auto server_or = Server::Start(options);
+    ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+    std::unique_ptr<Server> server = std::move(server_or).value();
+    auto client_or = Client::Connect(options.socket_path);
+    ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+    Client client = std::move(client_or).value();
+
+    for (const TranscriptStep& step : steps) {
+      SCOPED_TRACE(name + ":" + std::to_string(step.line_number));
+      if (step.direction == ">") {
+        ASSERT_TRUE(client.SendLine(step.payload).ok());
+        continue;
+      }
+      auto reply_or = client.ReadLine();
+      ASSERT_TRUE(reply_or.ok()) << reply_or.status().ToString();
+      auto expected_or = JsonValue::Parse(step.payload);
+      ASSERT_TRUE(expected_or.ok())
+          << "transcript line is not valid JSON: " << step.payload;
+      auto actual_or = JsonValue::Parse(*reply_or);
+      ASSERT_TRUE(actual_or.ok()) << "reply is not valid JSON: " << *reply_or;
+      EXPECT_TRUE(expected_or->MatchesWithWildcards(*actual_or))
+          << "expected " << step.payload << "\n actual  " << *reply_or;
+    }
+    server->Stop();
+  }
+}
+
+}  // namespace
+}  // namespace rtp::serve

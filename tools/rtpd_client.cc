@@ -1,0 +1,272 @@
+// rtpd_client — command-line driver for a running rtpd (docs/SERVING.md).
+//
+//   rtpd_client --socket=PATH load    <tenant> <doc-name> <xml-file>
+//   rtpd_client --socket=PATH eval    <tenant> <doc-name> <pattern-file>
+//   rtpd_client --socket=PATH checkfd <tenant> <doc-name> <fd-file>
+//   rtpd_client --socket=PATH matrix  <tenant> <fd-file>[,...]
+//                                     <class-file>[,...] [schema-file]
+//   rtpd_client --socket=PATH stats
+//   rtpd_client --socket=PATH drop    <tenant> <doc-name>
+//   rtpd_client --socket=PATH quota   <tenant>
+//   rtpd_client --socket=PATH shutdown
+//
+// Flags: --deadline-ms=N --max-states=N --max-steps=N --max-memory-mb=N
+// attach a budget to the request (for quota: become the tenant default).
+//
+// Output mirrors rtp_cli where the subcommands overlap (eval prints
+// "N tuple(s)" then tab-joined tuples; checkfd prints satisfied/VIOLATED),
+// so scripted comparisons between resident and one-shot execution are
+// line-by-line. Exit codes: 0 ok / verdict holds, 1 negative verdict,
+// 2 request or input error, 3 cannot connect.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace {
+
+using namespace rtp;
+
+int Usage(const char* detail = nullptr) {
+  if (detail != nullptr) std::fprintf(stderr, "error: %s\n", detail);
+  std::fprintf(
+      stderr,
+      "usage: rtpd_client --socket=PATH <command> [args]\n"
+      "  load    <tenant> <doc-name> <xml-file>\n"
+      "  eval    <tenant> <doc-name> <pattern-file>\n"
+      "  checkfd <tenant> <doc-name> <fd-file>\n"
+      "  matrix  <tenant> <fd-file>[,...] <class-file>[,...] [schema-file]\n"
+      "  stats\n"
+      "  drop    <tenant> <doc-name>\n"
+      "  quota   <tenant>\n"
+      "  shutdown\n"
+      "flags: --deadline-ms=N --max-states=N --max-steps=N "
+      "--max-memory-mb=N\n");
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    parts.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+#define CLIENT_ASSIGN(lhs, expr)                        \
+  auto lhs##_or = (expr);                               \
+  if (!lhs##_or.ok()) {                                 \
+    std::fprintf(stderr, "error: %s\n",                 \
+                 lhs##_or.status().ToString().c_str()); \
+    return 2;                                           \
+  }                                                     \
+  auto lhs = std::move(lhs##_or).value();
+
+int64_t ParseCountFlag(const char* arg, const char* prefix) {
+  const char* value = arg + std::strlen(prefix);
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (*value == '\0' || *end != '\0' || parsed < 0) return -1;
+  return parsed;
+}
+
+int CmdLoad(serve::Client& client, const serve::CallOptions& options,
+            const std::vector<std::string>& args) {
+  if (args.size() != 3) return Usage("load takes <tenant> <doc> <xml-file>");
+  CLIENT_ASSIGN(xml_text, ReadFile(args[2]));
+  Status status = client.Load(args[0], args[1], xml_text, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("loaded %s\n", args[1].c_str());
+  return 0;
+}
+
+int CmdEval(serve::Client& client, const serve::CallOptions& options,
+            const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Usage("eval takes <tenant> <doc> <pattern-file>");
+  }
+  CLIENT_ASSIGN(pattern_text, ReadFile(args[2]));
+  CLIENT_ASSIGN(result, client.Eval(args[0], args[1], pattern_text, options));
+  std::printf("%zu tuple(s)\n", result.tuples.size());
+  for (const auto& tuple : result.tuples) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i ? "\t" : "", tuple[i].c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdCheckFd(serve::Client& client, const serve::CallOptions& options,
+               const std::vector<std::string>& args) {
+  if (args.size() != 3) return Usage("checkfd takes <tenant> <doc> <fd-file>");
+  CLIENT_ASSIGN(fd_text, ReadFile(args[2]));
+  CLIENT_ASSIGN(result, client.CheckFd(args[0], args[1], fd_text, options));
+  std::printf("%s (%lld mappings, %lld groups)\n",
+              result.satisfied ? "satisfied" : "VIOLATED",
+              static_cast<long long>(result.mappings),
+              static_cast<long long>(result.groups));
+  if (!result.satisfied) std::printf("%s", result.violation.c_str());
+  return result.satisfied ? 0 : 1;
+}
+
+int CmdMatrix(serve::Client& client, const serve::CallOptions& options,
+              const std::vector<std::string>& args) {
+  if (args.size() != 3 && args.size() != 4) {
+    return Usage("matrix takes <tenant> <fd-files> <class-files> "
+                 "[schema-file]");
+  }
+  std::vector<std::string> fd_texts;
+  for (const std::string& path : SplitCommaList(args[1])) {
+    CLIENT_ASSIGN(text, ReadFile(path));
+    fd_texts.push_back(std::move(text));
+  }
+  std::vector<std::string> class_texts;
+  for (const std::string& path : SplitCommaList(args[2])) {
+    CLIENT_ASSIGN(text, ReadFile(path));
+    class_texts.push_back(std::move(text));
+  }
+  std::string schema_text;
+  if (args.size() == 4) {
+    CLIENT_ASSIGN(text, ReadFile(args[3]));
+    schema_text = std::move(text);
+  }
+  CLIENT_ASSIGN(result, client.Matrix(args[0], fd_texts, class_texts,
+                                      schema_text, options));
+  size_t over_budget = 0;
+  for (const serve::MatrixCell& cell : result.cells) {
+    std::printf("fd %zu x class %zu: %s", cell.fd_index, cell.class_index,
+                cell.independent ? "independent" : "dependent?");
+    if (cell.status != StatusCode::kOk) {
+      std::printf(" (%s)", StatusCodeName(cell.status));
+      ++over_budget;
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu/%zu pair(s) independent\n", result.independent,
+              result.cells.size());
+  if (over_budget > 0) {
+    std::printf("%zu pair(s) over budget\n", over_budget);
+  }
+  return result.independent == result.cells.size() ? 0 : 1;
+}
+
+int CmdStats(serve::Client& client) {
+  CLIENT_ASSIGN(stats, client.Stats());
+  for (const serve::TenantStats& tenant : stats) {
+    std::printf(
+        "%s: %lld doc(s), %lld request(s), %lld error(s), %lld trip(s)\n",
+        tenant.name.c_str(), static_cast<long long>(tenant.docs),
+        static_cast<long long>(tenant.requests),
+        static_cast<long long>(tenant.errors),
+        static_cast<long long>(tenant.trips));
+  }
+  return 0;
+}
+
+int CmdDrop(serve::Client& client, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage("drop takes <tenant> <doc>");
+  CLIENT_ASSIGN(dropped, client.Drop(args[0], args[1]));
+  std::printf("%s\n", dropped ? "dropped" : "not found");
+  return dropped ? 0 : 1;
+}
+
+int CmdQuota(serve::Client& client, const serve::CallOptions& options,
+             const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage("quota takes <tenant>");
+  Status status = client.Quota(args[0], options.budget);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("quota set\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  serve::CallOptions options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      socket_path = arg + 9;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      options.budget.deadline_ms = ParseCountFlag(arg, "--deadline-ms=");
+      if (options.budget.deadline_ms < 0) {
+        return Usage("--deadline-ms requires a nonnegative integer");
+      }
+    } else if (std::strncmp(arg, "--max-states=", 13) == 0) {
+      options.budget.max_automaton_states =
+          ParseCountFlag(arg, "--max-states=");
+      if (options.budget.max_automaton_states < 0) {
+        return Usage("--max-states requires a nonnegative integer");
+      }
+    } else if (std::strncmp(arg, "--max-steps=", 12) == 0) {
+      options.budget.max_steps = ParseCountFlag(arg, "--max-steps=");
+      if (options.budget.max_steps < 0) {
+        return Usage("--max-steps requires a nonnegative integer");
+      }
+    } else if (std::strncmp(arg, "--max-memory-mb=", 16) == 0) {
+      int64_t mb = ParseCountFlag(arg, "--max-memory-mb=");
+      if (mb < 0) return Usage("--max-memory-mb requires a nonnegative integer");
+      options.budget.max_memory_bytes = mb << 20;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return Usage(("unknown flag '" + std::string(arg) + "'").c_str());
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  if (socket_path.empty()) return Usage("--socket is required");
+  if (args.empty()) return Usage();
+
+  auto client_or = serve::Client::Connect(socket_path);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 client_or.status().ToString().c_str());
+    return 3;
+  }
+  serve::Client client = std::move(client_or).value();
+
+  const std::string cmd = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "load") return CmdLoad(client, options, rest);
+  if (cmd == "eval") return CmdEval(client, options, rest);
+  if (cmd == "checkfd") return CmdCheckFd(client, options, rest);
+  if (cmd == "matrix") return CmdMatrix(client, options, rest);
+  if (cmd == "stats") return CmdStats(client);
+  if (cmd == "drop") return CmdDrop(client, rest);
+  if (cmd == "quota") return CmdQuota(client, options, rest);
+  if (cmd == "shutdown") {
+    Status status = client.Shutdown();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf("shutting down\n");
+    return 0;
+  }
+  return Usage(("unknown command '" + cmd + "'").c_str());
+}

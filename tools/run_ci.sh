@@ -7,11 +7,12 @@
 #   asan-ubsan    -DRTP_SANITIZE=address,undefined — full ctest suite
 #                 (includes the fuzz-corpus replay test, so every corpus
 #                 entry runs under ASan/UBSan here)
-#   tsan          -DRTP_SANITIZE=thread           — `ctest -L exec` only:
+#   tsan          -DRTP_SANITIZE=thread           — `ctest -L 'exec|serve'`:
 #                 the exec label marks the concurrency suite (rtp::exec
-#                 engine, parallel differential battery, oracle battery).
+#                 engine, parallel differential battery, oracle battery)
+#                 and the serve label marks the rtpd end-to-end battery.
 #                 TSan slows everything ~10x and the rest of the suite is
-#                 single-threaded, so the label keeps the leg focused on
+#                 single-threaded, so the labels keep the leg focused on
 #                 code that actually runs concurrently.
 #   perf          one pass over the allowlisted benchmarks in the plain
 #                 (Release) tree, compared against the committed
@@ -30,6 +31,13 @@
 #                 rtp::obs macro compiled to a no-op, so the disabled
 #                 path (and the tests' SKIP guards) cannot rot. See
 #                 docs/OBSERVABILITY.md.
+#   serve         builds rtpd + rtpd_client + the serve battery in the
+#                 plain and tsan trees, runs `ctest -L serve` in both,
+#                 then smoke-tests a real daemon: starts rtpd on a temp
+#                 socket, loads examples/data/exam.xml, and diffs an
+#                 rtpd_client eval round-trip against the serial
+#                 `rtp_cli eval` output (the bit-identity contract of
+#                 docs/SERVING.md).
 #   format        clang-format --dry-run --Werror over src/ tests/ tools/
 #                 fuzz/ (skipped with a notice when clang-format is not
 #                 installed).
@@ -37,7 +45,7 @@
 # usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
 #   leg               all (default) | plain | asan-ubsan | tsan | perf |
-#                     fuzz | failpoints | obs-off | format
+#                     fuzz | failpoints | obs-off | serve | format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
 #                     <prefix>-fuzz, <prefix>-failpoints, <prefix>-obs-off.
@@ -47,7 +55,7 @@ set -euo pipefail
 
 leg="all"
 case "${1:-}" in
-  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|format)
+  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|serve|format)
     leg="$1"
     shift
     ;;
@@ -131,6 +139,54 @@ run_failpoints() {
     -R '(Guard|Status)')
 }
 
+run_serve_smoke() {
+  local build_dir="$1"
+  local sock workdir
+  workdir="$(mktemp -d)"
+  sock="$workdir/rtpd.sock"
+  echo "==== [serve] smoke: rtpd round-trip on $sock" >&2
+  "$build_dir/tools/rtpd" --socket="$sock" --jobs=2 &
+  local rtpd_pid=$!
+  # shellcheck disable=SC2064  # expand now: kill the daemon we started
+  trap "kill $rtpd_pid 2>/dev/null; wait $rtpd_pid 2>/dev/null; rm -rf '$workdir'" RETURN
+  local i
+  for i in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "rtpd did not come up" >&2; return 1; }
+  "$build_dir/tools/rtpd_client" --socket="$sock" load smoke exam \
+    "$source_dir/examples/data/exam.xml"
+  "$build_dir/tools/rtpd_client" --socket="$sock" eval smoke exam \
+    "$source_dir/examples/data/update_u.pattern" > "$workdir/served.txt"
+  "$build_dir/tools/rtp_cli" eval \
+    "$source_dir/examples/data/update_u.pattern" \
+    "$source_dir/examples/data/exam.xml" > "$workdir/serial.txt"
+  diff -u "$workdir/serial.txt" "$workdir/served.txt"
+  "$build_dir/tools/rtpd_client" --socket="$sock" shutdown
+  wait "$rtpd_pid"
+  echo "==== [serve] smoke: resident output identical to serial rtp_cli" >&2
+}
+
+run_serve() {
+  local build_dir="${prefix}-plain"
+  echo "==== [serve] configure + build (plain)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="" > /dev/null
+  cmake --build "$build_dir" -j "$jobs" --target \
+    rtpd rtpd_client rtp_cli rtp_serve_tests
+  echo "==== [serve] ctest -L serve (plain)" >&2
+  (cd "$build_dir" &&
+    ctest --output-on-failure --no-tests=error -j "$jobs" -L serve)
+  run_serve_smoke "$build_dir"
+  local tsan_dir="${prefix}-tsan"
+  echo "==== [serve] configure + build (tsan)" >&2
+  cmake -B "$tsan_dir" -S "$source_dir" -DRTP_SANITIZE="thread" > /dev/null
+  cmake --build "$tsan_dir" -j "$jobs" --target rtp_serve_tests
+  echo "==== [serve] ctest -L serve (tsan)" >&2
+  (cd "$tsan_dir" &&
+    ctest --output-on-failure --no-tests=error -j "$jobs" -L serve)
+}
+
 run_format() {
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "==== [format] clang-format not installed — skipping" >&2
@@ -145,18 +201,20 @@ run_format() {
 case "$leg" in
   plain)      run_leg plain      ""                  "" ;;
   asan-ubsan) run_leg asan-ubsan "address,undefined" "" ;;
-  tsan)       run_leg tsan       "thread"            "-L exec" ;;
+  tsan)       run_leg tsan       "thread"            "-L 'exec|serve'" ;;
   obs-off)    run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON" ;;
   perf)       run_perf ;;
   fuzz)       run_fuzz ;;
   failpoints) run_failpoints ;;
+  serve)      run_serve ;;
   format)     run_format ;;
   all)
     run_format
     run_leg plain      ""                  ""
     run_leg asan-ubsan "address,undefined" ""
-    run_leg tsan       "thread"            "-L exec"
+    run_leg tsan       "thread"            "-L 'exec|serve'"
     run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON"
+    run_serve
     run_perf
     run_fuzz
     run_failpoints
