@@ -1,11 +1,14 @@
-// Serving throughput for rtpd (src/serve): an in-process Server with
-// jobs ∈ {1, 4, 8} worker threads, driven by 8 concurrent client
-// connections issuing a mixed eval/checkfd workload over a resident
-// exam-session corpus. Counters per run:
+// Serving throughput for rtpd (src/serve), driven by the declarative
+// workload harness (src/workload) instead of a hardcoded client loop: an
+// in-process Server with jobs ∈ {1, 4, 8} worker threads under the
+// committed examples/workloads/smoke.json spec — the same spec, seed and
+// thread count the `load` CI leg replays against a real daemon, so the
+// bench measures exactly the traffic shape CI pins. Counters per run:
 //
-//   rps     requests per second across all clients (rate counter)
-//   p50_us  median request latency, microseconds (send → response parsed)
-//   p99_us  tail request latency, microseconds
+//   rps     op responses per second across all client threads
+//   p50_us  median op latency, microseconds (send → response parsed)
+//   p99_us  tail op latency, microseconds
+//   ops     total ops per iteration
 //
 // The point of the resident daemon is amortization — documents parsed
 // once, automata warm — so the measured request path is exactly the wire
@@ -14,46 +17,37 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "bench_common.h"
-#include "serve/client.h"
 #include "serve/server.h"
-#include "workload/exam_generator.h"
-#include "xml/xml_io.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
 
 namespace rtp::bench {
 namespace {
 
-constexpr int kClients = 8;
-constexpr int kRequestsPerClient = 16;
-
-// Generator-shaped DSL texts (the documents come from
-// workload::GenerateExamDocument, Figure 1 shape).
-constexpr const char* kEvalPattern =
-    "root { session/candidate { x = exam/mark; } } select x;";
-constexpr const char* kFdText =
-    "root { c = session { candidate/exam { p1 = discipline; p2 = mark; "
-    "q = rank; } } } select p1[V], p2[V], q[V]; context c;";
+constexpr int kClientThreads = 8;
+constexpr uint64_t kSeed = 42;
 
 std::string BenchSocketPath() {
   static std::atomic<int> counter{0};
-  return "/tmp/rtp_bench_serve_" + std::to_string(::getpid()) + "_" +
+  return "/tmp/rtp_bench_load_" + std::to_string(::getpid()) + "_" +
          std::to_string(counter.fetch_add(1)) + ".sock";
 }
 
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+std::string SmokeSpecPath() {
+  return std::string(RTP_WORKLOADS_DIR) + "/smoke.json";
 }
 
-void BM_ServeThroughput(benchmark::State& state) {
+void BM_RtpLoadSmoke(benchmark::State& state) {
+  auto spec_or = workload::LoadWorkloadSpecFile(SmokeSpecPath());
+  if (!spec_or.ok()) {
+    state.SkipWithError(spec_or.status().ToString().c_str());
+    return;
+  }
+
   serve::ServerOptions options;
   options.socket_path = BenchSocketPath();
   options.jobs = static_cast<int>(state.range(0));
@@ -64,84 +58,42 @@ void BM_ServeThroughput(benchmark::State& state) {
   }
   auto server = std::move(server_or).value();
 
-  {
-    Alphabet alphabet;
-    workload::ExamWorkloadParams params;
-    params.num_candidates = 64;
-    xml::Document doc = workload::GenerateExamDocument(&alphabet, params);
-    auto loader_or = serve::Client::Connect(options.socket_path);
-    if (!loader_or.ok()) {
-      state.SkipWithError(loader_or.status().ToString().c_str());
-      return;
-    }
-    serve::Client loader = std::move(loader_or).value();
-    Status status =
-        loader.Load("bench", "exam", xml::WriteXml(doc, /*indent=*/false));
-    if (!status.ok()) {
-      state.SkipWithError(status.ToString().c_str());
-      return;
-    }
-    // Warm the automaton cache so steady-state requests are measured.
-    auto warm_eval = loader.Eval("bench", "exam", kEvalPattern);
-    auto warm_check = loader.CheckFd("bench", "exam", kFdText);
-    if (!warm_eval.ok() || !warm_check.ok()) {
-      state.SkipWithError("warmup request failed");
-      return;
-    }
-  }
+  workload::RunnerOptions runner_options;
+  runner_options.socket_path = options.socket_path;
+  runner_options.threads = kClientThreads;
+  runner_options.seed = kSeed;
 
-  std::vector<double> latencies_us;
-  size_t total_requests = 0;
-  std::atomic<int> errors{0};
+  workload::WorkloadStats merged;
+  double elapsed_s = 0;
+  bool failed = false;
   for (auto _ : state) {
-    std::vector<std::vector<double>> per_client(kClients);
-    std::vector<std::thread> threads;
-    threads.reserve(kClients);
-    for (int c = 0; c < kClients; ++c) {
-      threads.emplace_back([&, c] {
-        auto client_or = serve::Client::Connect(options.socket_path);
-        if (!client_or.ok()) {
-          ++errors;
-          return;
-        }
-        serve::Client client = std::move(client_or).value();
-        per_client[c].reserve(kRequestsPerClient);
-        for (int i = 0; i < kRequestsPerClient; ++i) {
-          auto t0 = std::chrono::steady_clock::now();
-          bool ok;
-          if ((c + i) % 2 == 0) {
-            ok = client.Eval("bench", "exam", kEvalPattern).ok();
-          } else {
-            ok = client.CheckFd("bench", "exam", kFdText).ok();
-          }
-          auto t1 = std::chrono::steady_clock::now();
-          if (!ok) ++errors;
-          per_client[c].push_back(
-              std::chrono::duration<double, std::micro>(t1 - t0).count());
-        }
-      });
+    auto result_or = workload::RunWorkload(*spec_or, runner_options);
+    if (!result_or.ok()) {
+      state.SkipWithError(result_or.status().ToString().c_str());
+      failed = true;
+      break;
     }
-    for (std::thread& t : threads) t.join();
-    for (const auto& lat : per_client) {
-      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    if (result_or->errors != 0) {
+      state.SkipWithError("op errors during measurement");
+      failed = true;
+      break;
     }
-    total_requests += static_cast<size_t>(kClients) * kRequestsPerClient;
+    merged.Merge(result_or->stats);
+    elapsed_s += result_or->elapsed_s;
   }
   server->Stop();
-  if (errors.load() != 0) {
-    state.SkipWithError("request errors during measurement");
-    return;
-  }
+  if (failed) return;
 
-  std::sort(latencies_us.begin(), latencies_us.end());
+  workload::NodeStats total = merged.Total();
   state.counters["rps"] = benchmark::Counter(
-      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
-  state.counters["p50_us"] = Percentile(latencies_us, 0.50);
-  state.counters["p99_us"] = Percentile(latencies_us, 0.99);
-  state.counters["clients"] = kClients;
-  state.SetItemsProcessed(static_cast<int64_t>(total_requests));
+      static_cast<double>(total.count), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = total.p50_us();
+  state.counters["p99_us"] = total.p99_us();
+  state.counters["ops"] = static_cast<double>(total.count);
+  state.counters["clients"] = kClientThreads;
+  state.SetItemsProcessed(static_cast<int64_t>(total.count));
 }
-BENCHMARK(BM_ServeThroughput)
+BENCHMARK(BM_RtpLoadSmoke)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)

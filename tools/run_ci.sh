@@ -16,7 +16,7 @@
 #                 code that actually runs concurrently.
 #   perf          one pass over the allowlisted benchmarks in the plain
 #                 (Release) tree, compared against the committed
-#                 BENCH_pr6.json via tools/bench_compare.py (>10% cpu-time
+#                 BENCH_pr9.json via tools/bench_compare.py (>10% cpu-time
 #                 regression fails; see docs/PERFORMANCE.md).
 #   fuzz          -DRTP_FUZZ=ON -DRTP_SANITIZE=address,undefined build of
 #                 the fuzz/ harnesses; replays fuzz/corpus/, then fuzzes
@@ -38,6 +38,14 @@
 #                 rtpd_client eval round-trip against the serial
 #                 `rtp_cli eval` output (the bit-identity contract of
 #                 docs/SERVING.md).
+#   load          builds rtpd + rtpd_client + rtp_load in the plain tree,
+#                 starts a real daemon, and runs the committed
+#                 examples/workloads/smoke.json twice with the same seed
+#                 (4 client threads). rtp_load exits non-zero on any
+#                 error-status response or zero completed ops, and the leg
+#                 diffs the two --counts-out files: same-seed runs must
+#                 produce byte-identical per-node op counts (the
+#                 reproducibility contract of docs/WORKLOADS.md).
 #   format        clang-format --dry-run --Werror over src/ tests/ tools/
 #                 fuzz/ (skipped with a notice when clang-format is not
 #                 installed).
@@ -45,7 +53,7 @@
 # usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
 #   leg               all (default) | plain | asan-ubsan | tsan | perf |
-#                     fuzz | failpoints | obs-off | serve | format
+#                     fuzz | failpoints | obs-off | serve | load | format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
 #                     <prefix>-fuzz, <prefix>-failpoints, <prefix>-obs-off.
@@ -55,7 +63,7 @@ set -euo pipefail
 
 leg="all"
 case "${1:-}" in
-  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|serve|format)
+  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|serve|load|format)
     leg="$1"
     shift
     ;;
@@ -96,9 +104,9 @@ run_perf() {
   RTP_BENCH_JSON="$out" "$build_dir/bench/bench_fd_check" \
     --benchmark_filter='(BM_CheckFd1|BM_CheckFd2|BM_CheckFd3|BM_CheckFd5)/4096$' \
     --benchmark_min_time=0.1 >&2
-  echo "==== [perf] comparing against BENCH_pr6.json" >&2
+  echo "==== [perf] comparing against BENCH_pr9.json" >&2
   python3 "$source_dir/tools/bench_compare.py" \
-    "$source_dir/BENCH_pr6.json" "$out"
+    "$source_dir/BENCH_pr9.json" "$out"
 }
 
 run_fuzz() {
@@ -187,6 +195,44 @@ run_serve() {
     ctest --output-on-failure --no-tests=error -j "$jobs" -L serve)
 }
 
+# The load leg: a real daemon under the committed smoke workload spec,
+# run twice with one seed. Reproducibility is enforced by diffing the
+# per-node op counts; rtp_load itself exits non-zero on any error-status
+# response or a zero-op run.
+run_load() {
+  local build_dir="${prefix}-plain"
+  echo "==== [load] configure + build (plain)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="" > /dev/null
+  cmake --build "$build_dir" -j "$jobs" --target rtpd rtpd_client rtp_load
+  local workdir sock
+  workdir="$(mktemp -d)"
+  sock="$workdir/rtpd.sock"
+  echo "==== [load] starting rtpd on $sock" >&2
+  "$build_dir/tools/rtpd" --socket="$sock" --jobs=4 &
+  local rtpd_pid=$!
+  # shellcheck disable=SC2064  # expand now: kill the daemon we started
+  trap "kill $rtpd_pid 2>/dev/null; wait $rtpd_pid 2>/dev/null; rm -rf '$workdir'" RETURN
+  local i
+  for i in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "rtpd did not come up" >&2; return 1; }
+  local run
+  for run in 1 2; do
+    echo "==== [load] smoke workload run $run (4 threads, seed 42)" >&2
+    "$build_dir/tools/rtp_load" \
+      --spec="$source_dir/examples/workloads/smoke.json" \
+      --socket="$sock" --threads=4 --seed=42 \
+      --counts-out="$workdir/counts$run.txt"
+  done
+  echo "==== [load] diffing per-node op counts across the two runs" >&2
+  diff -u "$workdir/counts1.txt" "$workdir/counts2.txt"
+  "$build_dir/tools/rtpd_client" --socket="$sock" shutdown
+  wait "$rtpd_pid"
+  echo "==== [load] same-seed runs produced identical per-node counts" >&2
+}
+
 run_format() {
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "==== [format] clang-format not installed — skipping" >&2
@@ -207,6 +253,7 @@ case "$leg" in
   fuzz)       run_fuzz ;;
   failpoints) run_failpoints ;;
   serve)      run_serve ;;
+  load)       run_load ;;
   format)     run_format ;;
   all)
     run_format
@@ -215,6 +262,7 @@ case "$leg" in
     run_leg tsan       "thread"            "-L 'exec|serve'"
     run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON"
     run_serve
+    run_load
     run_perf
     run_fuzz
     run_failpoints
