@@ -1,0 +1,3 @@
+#include "harness_entry.h"
+
+RTP_DEFINE_FUZZ_TARGET(kServe)

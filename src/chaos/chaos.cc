@@ -1,0 +1,172 @@
+#include "chaos/chaos.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rtp::chaos {
+namespace {
+
+struct KindRate {
+  FaultKind kind;
+  uint32_t rate;
+};
+
+// The draw order is part of the determinism contract: reordering this
+// table reshuffles which operations get which fault for a fixed seed.
+std::array<KindRate, 7> RateTable(const ChaosConfig& config) {
+  return {{{FaultKind::kConnectRefused, config.connect_refused},
+           {FaultKind::kReadStall, config.read_stall},
+           {FaultKind::kWriteStall, config.write_stall},
+           {FaultKind::kTornWrite, config.torn_write},
+           {FaultKind::kCorruptByte, config.corrupt_byte},
+           {FaultKind::kPrematureClose, config.premature_close},
+           {FaultKind::kResponseDelay, config.response_delay}}};
+}
+
+bool PlainSend(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kConnectRefused:
+      return "connect_refused";
+    case FaultKind::kReadStall:
+      return "read_stall";
+    case FaultKind::kWriteStall:
+      return "write_stall";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kCorruptByte:
+      return "corrupt_byte";
+    case FaultKind::kPrematureClose:
+      return "premature_close";
+    case FaultKind::kResponseDelay:
+      return "response_delay";
+  }
+  return "unknown";
+}
+
+uint32_t ChaosConfig::TotalRate() const {
+  return connect_refused + read_stall + write_stall + torn_write +
+         corrupt_byte + premature_close + response_delay;
+}
+
+Status ChaosConfig::Validate() const {
+  if (TotalRate() > 10000) {
+    return InvalidArgumentError(
+        "chaos fault rates sum to " + std::to_string(TotalRate()) +
+        " basis points (must be <= 10000)");
+  }
+  return Status::OK();
+}
+
+FaultPlan::FaultPlan(const ChaosConfig& config, uint64_t stream)
+    : config_(config),
+      // splitmix64 seeding discipline: the stream index perturbs the seed
+      // through the same golden-ratio increment the generator itself uses,
+      // so distinct streams decorrelate even for small seeds.
+      rng_(config.seed + (stream + 1) * 0x9e3779b97f4a7c15ULL) {}
+
+FaultDecision FaultPlan::Draw() {
+  FaultDecision decision;
+  if (!config_.enabled()) return decision;
+  // Fixed draw shape: one word for the kind, one for the detail — taken
+  // unconditionally so the stream position never depends on the outcome.
+  uint64_t roll = rng_.Below(10000);
+  decision.detail = rng_.Next();
+  uint64_t acc = 0;
+  for (const KindRate& entry : RateTable(config_)) {
+    acc += entry.rate;
+    if (roll < acc) {
+      decision.kind = entry.kind;
+      break;
+    }
+  }
+  decision.stall_ms = config_.stall_ms;
+  decision.delay_ms = config_.delay_ms;
+  ++counts_[static_cast<size_t>(decision.kind)];
+  return decision;
+}
+
+uint64_t FaultPlan::injected() const {
+  uint64_t total = 0;
+  for (size_t i = 1; i < counts_.size(); ++i) total += counts_[i];
+  return total;
+}
+
+void SleepMs(uint32_t ms) {
+  if (ms == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status ShimSendLine(int fd, const std::string& line,
+                    const FaultDecision& fault) {
+  std::string framed = line;
+  framed.push_back('\n');
+  switch (fault.kind) {
+    case FaultKind::kCorruptByte:
+      // Overwrite one byte of the payload (never the framing newline)
+      // with a character that cannot re-frame the line.
+      if (framed.size() > 1) {
+        framed[fault.detail % (framed.size() - 1)] = '#';
+      }
+      break;
+    case FaultKind::kTornWrite: {
+      // 2–4 pieces with a short pause between them: the server must
+      // reassemble the line across several recv() returns.
+      size_t pieces = 2 + fault.detail % 3;
+      pieces = std::min(pieces, framed.size());
+      uint32_t pause_ms =
+          std::min<uint32_t>(fault.stall_ms, 20) / static_cast<uint32_t>(pieces);
+      size_t off = 0;
+      for (size_t i = 0; i < pieces; ++i) {
+        size_t len = (i + 1 == pieces) ? framed.size() - off
+                                       : framed.size() / pieces;
+        if (!PlainSend(fd, framed.data() + off, len)) {
+          return UnavailableError("send failed mid torn write");
+        }
+        off += len;
+        if (i + 1 < pieces) SleepMs(std::max<uint32_t>(pause_ms, 1));
+      }
+      return Status::OK();
+    }
+    case FaultKind::kWriteStall: {
+      // First half, a stall, then the rest — the peer sees a mid-line gap.
+      size_t half = framed.size() / 2;
+      if (!PlainSend(fd, framed.data(), half)) {
+        return UnavailableError("send failed before write stall");
+      }
+      SleepMs(fault.stall_ms);
+      if (!PlainSend(fd, framed.data() + half, framed.size() - half)) {
+        return UnavailableError("send failed after write stall");
+      }
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+  if (!PlainSend(fd, framed.data(), framed.size())) {
+    return UnavailableError("send failed: connection lost");
+  }
+  return Status::OK();
+}
+
+}  // namespace rtp::chaos

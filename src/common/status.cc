@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTransportError:
+      return "TRANSPORT_ERROR";
   }
   return "UNKNOWN";
 }
@@ -67,6 +71,12 @@ Status ResourceExhaustedError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status TransportError(std::string message) {
+  return Status(StatusCode::kTransportError, std::move(message));
 }
 
 }  // namespace rtp

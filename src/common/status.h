@@ -26,6 +26,15 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  // Transport statuses (see docs/ROBUSTNESS.md): the peer could not be
+  // reached or answered in time (kUnavailable — connect refusal, socket
+  // timeout, connection closed before a response), or the bytes that did
+  // arrive were not a well-formed protocol frame (kTransportError —
+  // unparseable response line, response id mismatch). Like the resource
+  // statuses these mean "the answer was not computed"; kUnavailable is
+  // additionally safe to retry for idempotent operations.
+  kUnavailable,
+  kTransportError,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
@@ -68,6 +77,8 @@ Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
+Status TransportError(std::string message);
 
 // Union of a Status and a value of type T. Holds the value exactly when the
 // status is OK. Accessing the value of a non-OK StatusOr aborts the process.

@@ -84,6 +84,15 @@ class ThreadPool {
   uint64_t tasks_executed() const;
   uint64_t steals() const;
 
+  // Instantaneous number of queued-but-unstarted tasks. Serving layers use
+  // this to derive backoff hints (retry_after_ms) on the shed path.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queued_;
+  }
+
+  size_t queue_capacity() const { return queue_capacity_; }
+
  private:
   struct Shard {
     std::deque<std::function<void()>> tasks;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "pattern/pattern_writer.h"
+#include "serve/protocol.h"
 #include "workload/random_pattern.h"
 
 namespace rtp::fuzz {
@@ -248,6 +249,47 @@ std::string GeneratePathFdText(Rng* rng, const TextGenParams& params) {
     out += PathFdItem(rng, params);
   }
   out += ") -> " + PathFdItem(rng, params) + ")";
+  return out;
+}
+
+std::string GenerateServeRequestLines(Rng* rng, const TextGenParams& params) {
+  static constexpr const char* kOps[] = {"load",  "eval", "checkfd", "matrix",
+                                         "stats", "drop", "quota",   "shutdown"};
+  std::string out;
+  uint32_t lines = 1 + static_cast<uint32_t>(rng->Below(3));
+  for (uint32_t i = 0; i < lines; ++i) {
+    serve::Request req;
+    req.id = static_cast<int64_t>(rng->Below(1000));
+    req.op = kOps[rng->Below(sizeof(kOps) / sizeof(kOps[0]))];
+    if (rng->Percent(40)) req.tenant = "t" + std::to_string(rng->Below(3));
+    if (req.op == "load") {
+      req.doc = "d" + std::to_string(rng->Below(3));
+      req.text = GenerateXmlText(rng, params);
+    } else if (req.op == "eval" || req.op == "checkfd") {
+      req.doc = "d" + std::to_string(rng->Below(3));
+      req.text = GeneratePatternDslText(rng, params,
+                                        /*with_context=*/req.op == "checkfd");
+    } else if (req.op == "matrix") {
+      req.fds.push_back(GeneratePatternDslText(rng, params,
+                                               /*with_context=*/true));
+      req.classes.push_back(GeneratePatternDslText(rng, params));
+      if (rng->Percent(30)) req.schema = GenerateSchemaDslText(rng, params);
+    } else if (req.op == "stats") {
+      req.metrics = rng->Percent(50);
+    } else if (req.op == "drop") {
+      req.doc = "d" + std::to_string(rng->Below(3));
+    } else if (req.op == "quota") {
+      req.budget.deadline_ms = static_cast<int64_t>(rng->Below(1000));
+      req.has_budget = true;
+    }
+    if (rng->Percent(20)) {
+      req.budget.max_steps = static_cast<int64_t>(rng->Below(10000));
+      req.has_budget = true;
+    }
+    if (rng->Percent(20)) req.profile = true;
+    out += serve::EncodeRequest(req).Serialize();
+    out += '\n';
+  }
   return out;
 }
 

@@ -51,6 +51,11 @@ std::string GenerateXmlText(Rng* rng, const TextGenParams& params);
 // A path-FD expression (fd/path_fd.h).
 std::string GeneratePathFdText(Rng* rng, const TextGenParams& params);
 
+// 1..3 rtpd wire request lines (serve/protocol.h), '\n'-terminated, with
+// op-appropriate fields; pattern texts come from GeneratePatternDslText,
+// so the serve harness sees requests the daemon could actually execute.
+std::string GenerateServeRequestLines(Rng* rng, const TextGenParams& params);
+
 // Printable byte soup (no structure), for pure robustness probing.
 std::string GenerateRandomBytes(Rng* rng, size_t max_len);
 

@@ -10,6 +10,9 @@
 #include "pattern/pattern_writer.h"
 #include "regex/regex.h"
 #include "schema/schema.h"
+#include "serve/framing.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
 #include "workload/random_document.h"
 #include "xml/document.h"
 #include "xml/xml_io.h"
@@ -203,6 +206,67 @@ void RunDifferentialHarness(const uint8_t* data, size_t size) {
                 starved.ToString().c_str());
 }
 
+void RunServeHarness(const uint8_t* data, size_t size) {
+  // Small line cap so mutated inputs actually exercise the oversized
+  // paths (the server's real cap is 1 MiB).
+  constexpr size_t kMaxServeLine = 512;
+  std::string input = Truncated(data, size, kXmlInputCap);
+
+  auto drain = [](serve::LineFramer& framer,
+                  std::vector<serve::LineFramer::Line>* out) {
+    while (auto line = framer.Next()) out->push_back(std::move(*line));
+  };
+
+  // Chunking invariance: the same byte stream, torn at arbitrary write
+  // boundaries (as a faulty or malicious peer would deliver it), must
+  // frame into exactly the same line sequence as a single feed.
+  std::vector<serve::LineFramer::Line> whole_lines;
+  serve::LineFramer whole(kMaxServeLine);
+  whole.Feed(input);
+  drain(whole, &whole_lines);
+
+  std::vector<serve::LineFramer::Line> torn_lines;
+  serve::LineFramer torn(kMaxServeLine);
+  Rng rng(Rng::SeedFromBytes(data, size));
+  size_t off = 0;
+  while (off < input.size()) {
+    size_t n = 1 + rng.Below(17);
+    if (n > input.size() - off) n = input.size() - off;
+    torn.Feed(std::string_view(input).substr(off, n));
+    drain(torn, &torn_lines);
+    off += n;
+  }
+  RTP_CHECK(whole_lines.size() == torn_lines.size());
+  for (size_t i = 0; i < whole_lines.size(); ++i) {
+    RTP_CHECK(whole_lines[i].oversized == torn_lines[i].oversized);
+    RTP_CHECK(whole_lines[i].text == torn_lines[i].text);
+  }
+
+  // Every framed line runs the protocol decode (malformed bytes must
+  // yield a Status, never a crash); decodable requests must survive the
+  // encoder round-trip field-for-field.
+  for (const serve::LineFramer::Line& line : whole_lines) {
+    if (line.oversized) continue;
+    auto parsed = serve::JsonValue::Parse(line.text);
+    if (!parsed.ok()) continue;
+    auto req = serve::DecodeRequest(*parsed);
+    if (!req.ok()) continue;
+    auto round = serve::DecodeRequest(serve::EncodeRequest(*req));
+    RTP_CHECK_MSG(round.ok(), round.status().ToString().c_str());
+    RTP_CHECK(round->id == req->id);
+    RTP_CHECK(round->op == req->op);
+    RTP_CHECK(round->tenant == req->tenant);
+    RTP_CHECK(round->doc == req->doc);
+    RTP_CHECK(round->text == req->text);
+    RTP_CHECK(round->fds == req->fds);
+    RTP_CHECK(round->classes == req->classes);
+    RTP_CHECK(round->schema == req->schema);
+    RTP_CHECK(round->has_budget == req->has_budget);
+    RTP_CHECK(round->profile == req->profile);
+    RTP_CHECK(round->metrics == req->metrics);
+  }
+}
+
 }  // namespace
 
 const std::vector<HarnessInfo>& AllHarnesses() {
@@ -213,6 +277,7 @@ const std::vector<HarnessInfo>& AllHarnesses() {
           {Harness::kSchema, "schema"},
           {Harness::kXml, "xml"},
           {Harness::kDifferential, "differential"},
+          {Harness::kServe, "serve"},
       };
   return *harnesses;
 }
@@ -228,8 +293,9 @@ StatusOr<Harness> HarnessByName(std::string_view name) {
   for (const HarnessInfo& info : AllHarnesses()) {
     if (name == info.name) return info.harness;
   }
-  return NotFoundError("unknown harness '" + std::string(name) +
-                       "'; known: regex, pattern, schema, xml, differential");
+  return NotFoundError(
+      "unknown harness '" + std::string(name) +
+      "'; known: regex, pattern, schema, xml, differential, serve");
 }
 
 int RunHarnessInput(Harness harness, const uint8_t* data, size_t size) {
@@ -248,6 +314,9 @@ int RunHarnessInput(Harness harness, const uint8_t* data, size_t size) {
       break;
     case Harness::kDifferential:
       RunDifferentialHarness(data, size);
+      break;
+    case Harness::kServe:
+      RunServeHarness(data, size);
       break;
   }
   return 0;

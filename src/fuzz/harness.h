@@ -20,6 +20,7 @@ enum class Harness : uint8_t {
   kSchema,        // schema DSL parser + generator-vs-validator oracle
   kXml,           // XML parser + serializer round-trip
   kDifferential,  // bytes -> seed -> full RunOracleBattery
+  kServe,         // wire framing chunking-invariance + request round-trip
 };
 
 struct HarnessInfo {

@@ -27,6 +27,8 @@ std::string FreshInput(Harness harness, Rng* rng) {
       // The differential harness only hashes its input into a battery
       // seed, so any short byte string is as good as any other.
       return GenerateRandomBytes(rng, 16);
+    case Harness::kServe:
+      return GenerateServeRequestLines(rng, params);
   }
   return "";
 }

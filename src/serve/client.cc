@@ -3,14 +3,22 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
-namespace rtp::serve {
+#include "obs/metrics.h"
 
-StatusOr<Client> Client::Connect(const std::string& socket_path) {
+namespace rtp::serve {
+namespace {
+
+// Opens and connects an AF_UNIX stream socket. All failures are
+// UNAVAILABLE: "the server cannot be reached" is exactly what retries
+// and load harnesses need to distinguish from op-level errors.
+StatusOr<int> ConnectFd(const std::string& socket_path) {
   struct sockaddr_un addr;
   memset(&addr, 0, sizeof(addr));
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
@@ -24,18 +32,76 @@ StatusOr<Client> Client::Connect(const std::string& socket_path) {
   memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    Status status = NotFoundError("cannot connect to rtpd at '" +
-                                  socket_path + "': " + strerror(errno));
+    Status status = UnavailableError("cannot connect to rtpd at '" +
+                                     socket_path + "': " + strerror(errno));
     ::close(fd);
     return status;
   }
-  return Client(fd);
+  return fd;
+}
+
+bool IsTransportCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kTransportError;
+}
+
+// Per-kind injection counters; one macro call site per kind so each
+// caches its own counter pointer.
+void CountInjectedFault(chaos::FaultKind kind) {
+  switch (kind) {
+    case chaos::FaultKind::kNone:
+      break;
+    case chaos::FaultKind::kConnectRefused:
+      RTP_OBS_COUNT("serve.faults.injected.connect_refused");
+      break;
+    case chaos::FaultKind::kReadStall:
+      RTP_OBS_COUNT("serve.faults.injected.read_stall");
+      break;
+    case chaos::FaultKind::kWriteStall:
+      RTP_OBS_COUNT("serve.faults.injected.write_stall");
+      break;
+    case chaos::FaultKind::kTornWrite:
+      RTP_OBS_COUNT("serve.faults.injected.torn_write");
+      break;
+    case chaos::FaultKind::kCorruptByte:
+      RTP_OBS_COUNT("serve.faults.injected.corrupt_byte");
+      break;
+    case chaos::FaultKind::kPrematureClose:
+      RTP_OBS_COUNT("serve.faults.injected.premature_close");
+      break;
+    case chaos::FaultKind::kResponseDelay:
+      RTP_OBS_COUNT("serve.faults.injected.response_delay");
+      break;
+  }
+}
+
+}  // namespace
+
+bool IsIdempotentOp(std::string_view op) {
+  return op == "eval" || op == "checkfd" || op == "matrix" || op == "stats";
+}
+
+StatusOr<Client> Client::Connect(const std::string& socket_path,
+                                 const ClientOptions& options) {
+  RTP_ASSIGN_OR_RETURN(int fd, ConnectFd(socket_path));
+  Client client(fd, socket_path, options);
+  client.ApplySocketTimeouts(
+      options.call_timeout_ms > 0
+          ? guard::MonotonicNowNs() +
+                int64_t{options.call_timeout_ms} * 1'000'000
+          : 0);
+  return client;
 }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
-      read_buffer_(std::move(other.read_buffer_)) {}
+      read_buffer_(std::move(other.read_buffer_)),
+      socket_path_(std::move(other.socket_path_)),
+      options_(other.options_),
+      jitter_(other.jitter_),
+      retries_(other.retries_),
+      reconnects_(other.reconnects_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -43,12 +109,47 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = other.next_id_;
     read_buffer_ = std::move(other.read_buffer_);
+    socket_path_ = std::move(other.socket_path_);
+    options_ = other.options_;
+    jitter_ = other.jitter_;
+    retries_ = other.retries_;
+    reconnects_ = other.reconnects_;
   }
   return *this;
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::CloseBroken() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+void Client::ApplySocketTimeouts(int64_t deadline_ns) {
+  if (fd_ < 0 || deadline_ns <= 0) return;
+  int64_t remaining_ns = deadline_ns - guard::MonotonicNowNs();
+  // Clamp to at least 1ms: a 0 timeval means "block forever" to the
+  // kernel, the opposite of an expired deadline.
+  remaining_ns = std::max<int64_t>(remaining_ns, 1'000'000);
+  struct timeval tv;
+  tv.tv_sec = remaining_ns / 1'000'000'000;
+  tv.tv_usec = (remaining_ns % 1'000'000'000) / 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Status Client::Reconnect(int64_t deadline_ns) {
+  CloseBroken();
+  RTP_ASSIGN_OR_RETURN(int fd, ConnectFd(socket_path_));
+  fd_ = fd;
+  ++reconnects_;
+  ApplySocketTimeouts(deadline_ns);
+  return Status::OK();
 }
 
 Status Client::SendLine(const std::string& line) {
@@ -61,7 +162,10 @@ Status Client::SendLine(const std::string& line) {
         ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return InternalError(std::string("send(): ") + strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return UnavailableError("send timed out (call deadline)");
+      }
+      return UnavailableError(std::string("send(): ") + strerror(errno));
     }
     off += static_cast<size_t>(n);
   }
@@ -80,27 +184,149 @@ StatusOr<std::string> Client::ReadLine() {
     }
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
-      return InternalError("connection closed by server");
+      return UnavailableError("connection closed by server");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return InternalError(std::string("recv(): ") + strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return UnavailableError("receive timed out (call deadline)");
+      }
+      return UnavailableError(std::string("recv(): ") + strerror(errno));
     }
     read_buffer_.append(chunk, static_cast<size_t>(n));
   }
 }
 
-StatusOr<JsonValue> Client::Call(Request req) {
-  if (req.id == 0) req.id = next_id_++;
-  RTP_RETURN_IF_ERROR(SendLine(EncodeRequest(req).Serialize()));
-  RTP_ASSIGN_OR_RETURN(std::string line, ReadLine());
-  RTP_ASSIGN_OR_RETURN(JsonValue response, JsonValue::Parse(line));
-  if (response.FindInt("id") != req.id) {
-    return InternalError("response id mismatch (sent " +
-                         std::to_string(req.id) + ", got '" + line + "')");
+StatusOr<JsonValue> Client::CallOnce(const Request& req,
+                                     const chaos::FaultDecision& fault,
+                                     int64_t deadline_ns,
+                                     int64_t* retry_after_ms) {
+  *retry_after_ms = 0;
+  if (!fault.none()) CountInjectedFault(fault.kind);
+  if (fault.kind == chaos::FaultKind::kConnectRefused) {
+    // The attempt behaves as if connect() had been refused: nothing goes
+    // on the wire, and the connection must be re-established.
+    CloseBroken();
+    return UnavailableError("injected fault: connect refused");
   }
-  RTP_RETURN_IF_ERROR(ResponseStatus(response));
+  if (fd_ < 0) RTP_RETURN_IF_ERROR(Reconnect(deadline_ns));
+  if (deadline_ns > 0) {
+    if (guard::MonotonicNowNs() >= deadline_ns) {
+      return UnavailableError("call deadline exhausted before send");
+    }
+    ApplySocketTimeouts(deadline_ns);
+  }
+
+  Status sent = fault.none()
+                    ? SendLine(EncodeRequest(req).Serialize())
+                    : chaos::ShimSendLine(fd_, EncodeRequest(req).Serialize(),
+                                          fault);
+  if (!sent.ok()) {
+    if (IsTransportCode(sent.code())) CloseBroken();
+    return sent;
+  }
+  if (fault.kind == chaos::FaultKind::kPrematureClose) {
+    CloseBroken();
+    return UnavailableError("injected fault: connection closed after send");
+  }
+  if (fault.kind == chaos::FaultKind::kReadStall) {
+    // The response never arrives in time; the stalled connection is
+    // abandoned (its late response must not be read by the next call).
+    CloseBroken();
+    return UnavailableError("injected fault: response stalled past deadline");
+  }
+
+  auto line_or = ReadLine();
+  if (!line_or.ok()) {
+    if (IsTransportCode(line_or.status().code())) CloseBroken();
+    return line_or.status();
+  }
+  auto response_or = JsonValue::Parse(*line_or);
+  if (!response_or.ok()) {
+    // Bytes arrived but do not frame: the stream can no longer be
+    // trusted request-for-response, so drop the connection.
+    CloseBroken();
+    return TransportError("unparseable response line: " +
+                          response_or.status().message());
+  }
+  JsonValue response = std::move(response_or).value();
+  if (response.FindInt("id") != req.id) {
+    CloseBroken();
+    return TransportError("response id mismatch (sent " +
+                          std::to_string(req.id) + ", got '" + *line_or +
+                          "')");
+  }
+  if (fault.kind == chaos::FaultKind::kResponseDelay) {
+    chaos::SleepMs(fault.delay_ms);
+  }
+  Status status = ResponseStatus(response);
+  if (!status.ok()) {
+    *retry_after_ms = ResponseRetryAfterMs(response);
+    return status;
+  }
   return response;
+}
+
+StatusOr<JsonValue> Client::Call(Request req,
+                                 const chaos::FaultDecision& fault) {
+  if (req.id == 0) req.id = next_id_++;
+  int64_t deadline_ns =
+      options_.call_timeout_ms > 0
+          ? guard::MonotonicNowNs() +
+                int64_t{options_.call_timeout_ms} * 1'000'000
+          : 0;
+  const bool idempotent = IsIdempotentOp(req.op);
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  int backoff_ms = std::max(1, options_.retry.initial_backoff_ms);
+
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Chaos applies to the first attempt only: retries run clean, so the
+    // injection count per op is exactly one draw regardless of outcome.
+    int64_t hint_ms = 0;
+    auto result = CallOnce(req, attempt == 0 ? fault : chaos::FaultDecision{},
+                           deadline_ns, &hint_ms);
+    if (result.ok()) {
+      if (attempt > 0) RTP_OBS_COUNT("serve.retries.recovered");
+      return result;
+    }
+    last = result.status();
+    bool transport = IsTransportCode(last.code());
+    bool shed_with_hint =
+        last.code() == StatusCode::kResourceExhausted && hint_ms > 0;
+    if (!idempotent || (!transport && !shed_with_hint) ||
+        attempt + 1 >= max_attempts) {
+      break;
+    }
+    // Decorrelated jitter: sleep ~ U[initial, 3 * previous], capped. A
+    // shed hint raises the floor so a congested server gets its asked-for
+    // breathing room.
+    int initial = std::max(1, options_.retry.initial_backoff_ms);
+    int span = std::max(1, backoff_ms * 3 - initial + 1);
+    int sleep_ms =
+        initial + static_cast<int>(jitter_.Below(static_cast<uint64_t>(span)));
+    sleep_ms = std::min(sleep_ms, options_.retry.max_backoff_ms);
+    if (shed_with_hint) {
+      sleep_ms = std::max(
+          sleep_ms,
+          static_cast<int>(std::min<int64_t>(
+              hint_ms, options_.retry.max_backoff_ms)));
+    }
+    if (deadline_ns > 0 &&
+        guard::MonotonicNowNs() + int64_t{sleep_ms} * 1'000'000 >=
+            deadline_ns) {
+      break;  // no budget left for another attempt
+    }
+    chaos::SleepMs(static_cast<uint32_t>(sleep_ms));
+    backoff_ms = std::min(std::max(sleep_ms, initial),
+                          std::max(1, options_.retry.max_backoff_ms));
+    ++retries_;
+    RTP_OBS_COUNT("serve.retries.attempts");
+  }
+  if (IsTransportCode(last.code()) && max_attempts > 1 && idempotent) {
+    RTP_OBS_COUNT("serve.retries.exhausted");
+  }
+  return last;
 }
 
 namespace {
@@ -125,7 +351,7 @@ Status Client::Load(const std::string& tenant, const std::string& doc,
   Request req = BaseRequest("load", tenant, options);
   req.doc = doc;
   req.text = xml_text;
-  return Call(std::move(req)).status();
+  return Call(std::move(req), options.fault).status();
 }
 
 StatusOr<EvalResult> Client::Eval(const std::string& tenant,
@@ -135,19 +361,19 @@ StatusOr<EvalResult> Client::Eval(const std::string& tenant,
   Request req = BaseRequest("eval", tenant, options);
   req.doc = doc;
   req.text = pattern_text;
-  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req), options.fault));
   const JsonValue* tuples = response.Find("tuples");
   if (tuples == nullptr || !tuples->is_array()) {
-    return InternalError("eval response without 'tuples' array");
+    return TransportError("eval response without 'tuples' array");
   }
   EvalResult result;
   result.tuples.reserve(tuples->array_items().size());
   for (const JsonValue& row : tuples->array_items()) {
-    if (!row.is_array()) return InternalError("malformed eval tuple row");
+    if (!row.is_array()) return TransportError("malformed eval tuple row");
     std::vector<std::string> tuple;
     tuple.reserve(row.array_items().size());
     for (const JsonValue& item : row.array_items()) {
-      if (!item.is_string()) return InternalError("malformed eval tuple");
+      if (!item.is_string()) return TransportError("malformed eval tuple");
       tuple.push_back(item.string_value());
     }
     result.tuples.push_back(std::move(tuple));
@@ -162,10 +388,10 @@ StatusOr<CheckFdResult> Client::CheckFd(const std::string& tenant,
   Request req = BaseRequest("checkfd", tenant, options);
   req.doc = doc;
   req.text = fd_text;
-  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req), options.fault));
   const JsonValue* satisfied = response.Find("satisfied");
   if (satisfied == nullptr || !satisfied->is_bool()) {
-    return InternalError("checkfd response without 'satisfied'");
+    return TransportError("checkfd response without 'satisfied'");
   }
   CheckFdResult result;
   result.satisfied = satisfied->bool_value();
@@ -183,10 +409,10 @@ StatusOr<MatrixResult> Client::Matrix(
   req.fds = fd_texts;
   req.classes = class_texts;
   req.schema = schema_text;
-  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
+  RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req), options.fault));
   const JsonValue* entries = response.Find("entries");
   if (entries == nullptr || !entries->is_array()) {
-    return InternalError("matrix response without 'entries' array");
+    return TransportError("matrix response without 'entries' array");
   }
   MatrixResult result;
   result.num_fds = static_cast<size_t>(response.FindInt("num_fds"));
@@ -194,7 +420,7 @@ StatusOr<MatrixResult> Client::Matrix(
   result.independent = static_cast<size_t>(response.FindInt("independent"));
   result.cells.reserve(entries->array_items().size());
   for (const JsonValue& entry : entries->array_items()) {
-    if (!entry.is_object()) return InternalError("malformed matrix entry");
+    if (!entry.is_object()) return TransportError("malformed matrix entry");
     MatrixCell cell;
     cell.fd_index = static_cast<size_t>(entry.FindInt("fd"));
     cell.class_index = static_cast<size_t>(entry.FindInt("class"));
@@ -212,12 +438,12 @@ StatusOr<std::vector<TenantStats>> Client::Stats() {
   RTP_ASSIGN_OR_RETURN(JsonValue response, Call(std::move(req)));
   const JsonValue* tenants = response.Find("tenants");
   if (tenants == nullptr || !tenants->is_array()) {
-    return InternalError("stats response without 'tenants' array");
+    return TransportError("stats response without 'tenants' array");
   }
   std::vector<TenantStats> result;
   result.reserve(tenants->array_items().size());
   for (const JsonValue& t : tenants->array_items()) {
-    if (!t.is_object()) return InternalError("malformed tenant stats");
+    if (!t.is_object()) return TransportError("malformed tenant stats");
     TenantStats stats;
     stats.name = t.FindString("name");
     stats.docs = t.FindInt("docs");

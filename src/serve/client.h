@@ -10,17 +10,59 @@
 // request/response framing (the server responds in request order). It is
 // not thread-safe; concurrent callers each open their own Client, which
 // is also how the server's per-connection cancellation is scoped.
+//
+// Resilience (docs/ROBUSTNESS.md "Fault model"): a Client built with a
+// nonzero call_timeout_ms never hangs — the per-call wall-clock deadline
+// is wired to SO_RCVTIMEO/SO_SNDTIMEO on the socket, and every transport
+// failure surfaces as a structured Status: UNAVAILABLE when the server
+// cannot be reached or does not answer in time (connect refusal, socket
+// timeout, connection closed before the response), TRANSPORT_ERROR when
+// bytes arrived but were not a well-formed frame (unparseable response,
+// response id mismatch). With a RetryPolicy of max_attempts > 1, failed
+// attempts of *idempotent* ops (eval / checkfd / matrix / stats) are
+// retried on a fresh connection with exponential backoff and
+// decorrelated jitter; load / drop / quota / shutdown are never retried
+// (a duplicate would repeat the side effect). Overload sheds that carry
+// a retry_after_ms hint are retried the same way, honoring the hint.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/status.h"
+#include "fuzz/rng.h"
 #include "guard/guard.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 
 namespace rtp::serve {
+
+// True for ops safe to retry after a transport failure (the request may
+// or may not have executed server-side; these ops change nothing).
+bool IsIdempotentOp(std::string_view op);
+
+// Retry discipline for idempotent calls that fail with a transport status
+// or a shed-with-hint. Backoff is exponential with decorrelated jitter:
+// each sleep is drawn uniformly from [initial_backoff_ms, 3 * previous],
+// capped at max_backoff_ms.
+struct RetryPolicy {
+  int max_attempts = 1;  // total attempts per call; 1 = never retry
+  int initial_backoff_ms = 2;
+  int max_backoff_ms = 100;
+};
+
+// Connection-scoped options (Connect-time).
+struct ClientOptions {
+  // Per-call wall-clock deadline in milliseconds, applied across all
+  // attempts of one Call and wired to SO_RCVTIMEO/SO_SNDTIMEO so a hung
+  // server surfaces as UNAVAILABLE instead of a blocked thread.
+  // 0 = block indefinitely (the historical behavior).
+  int call_timeout_ms = 0;
+  RetryPolicy retry;
+  // Seed for the jitter stream, so tests can pin backoff schedules.
+  uint64_t jitter_seed = 1;
+};
 
 // Per-request options shared by the typed wrappers.
 struct CallOptions {
@@ -29,6 +71,10 @@ struct CallOptions {
   guard::ExecutionBudget budget;
   // Ask the server for a QueryProfile ("profile" field of the response).
   bool profile = false;
+  // Chaos injection: the decided fault to apply to this call's FIRST
+  // attempt (retries always run clean, so injection counts stay
+  // deterministic). Drawn from a chaos::FaultPlan by the workload runner.
+  chaos::FaultDecision fault;
 };
 
 struct EvalResult {
@@ -70,8 +116,9 @@ struct TenantStats {
 
 class Client {
  public:
-  // Connects to a listening rtpd socket.
-  static StatusOr<Client> Connect(const std::string& socket_path);
+  // Connects to a listening rtpd socket. A failed connect is UNAVAILABLE.
+  static StatusOr<Client> Connect(const std::string& socket_path,
+                                  const ClientOptions& options = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -83,7 +130,11 @@ class Client {
   // returns the decoded response envelope; {"ok":false} envelopes become
   // the transported error Status. The full envelope is returned so
   // callers can read op-specific fields (and tests can pin them).
-  StatusOr<JsonValue> Call(Request req);
+  // Transport failures close the connection; idempotent ops are then
+  // retried per the RetryPolicy on a fresh connection. `fault` is the
+  // chaos decision applied to the first attempt (kNone = clean).
+  StatusOr<JsonValue> Call(Request req,
+                           const chaos::FaultDecision& fault = {});
 
   // Typed wrappers (each one Call()).
   Status Load(const std::string& tenant, const std::string& doc,
@@ -115,12 +166,38 @@ class Client {
   // The underlying socket (tests close/shutdown it to simulate aborts).
   int fd() const { return fd_; }
 
+  // Lifetime retry/reconnect counters (per client; for tests and stats).
+  uint64_t retries() const { return retries_; }
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string socket_path, const ClientOptions& options)
+      : fd_(fd),
+        socket_path_(std::move(socket_path)),
+        options_(options),
+        jitter_(options.jitter_seed) {}
+
+  // One wire exchange (no retries). Applies `fault`, honors the remaining
+  // deadline, and reports the shed hint (0 when none) via retry_after_ms.
+  StatusOr<JsonValue> CallOnce(const Request& req,
+                               const chaos::FaultDecision& fault,
+                               int64_t deadline_ns, int64_t* retry_after_ms);
+  // Opens a fresh connection to socket_path_ (closing any current fd) and
+  // applies the socket timeouts.
+  Status Reconnect(int64_t deadline_ns);
+  // Marks the connection broken: close the fd, drop buffered bytes.
+  void CloseBroken();
+  // Applies SO_RCVTIMEO/SO_SNDTIMEO for the remaining deadline.
+  void ApplySocketTimeouts(int64_t deadline_ns);
 
   int fd_ = -1;
   int64_t next_id_ = 1;
   std::string read_buffer_;
+  std::string socket_path_;
+  ClientOptions options_;
+  fuzz::Rng jitter_{1};
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace rtp::serve

@@ -190,6 +190,21 @@ JsonValue MakeErrorResponse(int64_t id, const Status& status) {
   return v;
 }
 
+JsonValue MakeShedResponse(int64_t id, int64_t retry_after_ms) {
+  JsonValue v = JsonValue::Object();
+  v.Add("id", JsonValue::Int(id));
+  v.Add("ok", JsonValue::Bool(false));
+  v.Add("v", JsonValue::Int(kProtocolSchemaVersion));
+  JsonValue error = JsonValue::Object();
+  error.Add("code",
+            JsonValue::String(StatusCodeName(StatusCode::kResourceExhausted)));
+  error.Add("message",
+            JsonValue::String("server overloaded: request queue is full"));
+  error.Add("retry_after_ms", JsonValue::Int(retry_after_ms));
+  v.Add("error", std::move(error));
+  return v;
+}
+
 Status ResponseStatus(const JsonValue& response) {
   const JsonValue* ok = response.Find("ok");
   if (ok == nullptr || !ok->is_bool()) {
@@ -205,6 +220,12 @@ Status ResponseStatus(const JsonValue& response) {
                 error->FindString("message"));
 }
 
+int64_t ResponseRetryAfterMs(const JsonValue& response) {
+  const JsonValue* error = response.Find("error");
+  if (error == nullptr || !error->is_object()) return 0;
+  return error->FindInt("retry_after_ms");
+}
+
 StatusCode StatusCodeFromName(std::string_view name) {
   static constexpr StatusCode kCodes[] = {
       StatusCode::kOk,           StatusCode::kInvalidArgument,
@@ -212,7 +233,8 @@ StatusCode StatusCodeFromName(std::string_view name) {
       StatusCode::kFailedPrecondition, StatusCode::kParseError,
       StatusCode::kUnimplemented, StatusCode::kInternal,
       StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
-      StatusCode::kCancelled,
+      StatusCode::kCancelled,        StatusCode::kUnavailable,
+      StatusCode::kTransportError,
   };
   for (StatusCode code : kCodes) {
     if (name == StatusCodeName(code)) return code;

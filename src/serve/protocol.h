@@ -87,9 +87,19 @@ JsonValue EncodeRequest(const Request& req);
 JsonValue MakeOkResponse(int64_t id);
 JsonValue MakeErrorResponse(int64_t id, const Status& status);
 
+// Overload shed: RESOURCE_EXHAUSTED plus a "retry_after_ms" backoff hint
+// inside the error object. Only queue-full sheds carry the hint — budget
+// trips share the code but never the field, which is how clients tell a
+// retryable overload from a request that is simply too expensive.
+JsonValue MakeShedResponse(int64_t id, int64_t retry_after_ms);
+
 // Extracts the Status from a response envelope: OK for {"ok":true},
 // the decoded error for {"ok":false}, INTERNAL for malformed envelopes.
 Status ResponseStatus(const JsonValue& response);
+
+// The "retry_after_ms" hint of a shed response envelope, or 0 when the
+// response carries none (success, or a non-overload error).
+int64_t ResponseRetryAfterMs(const JsonValue& response);
 
 // Inverse of StatusCodeName (kInternal for unknown spellings, so foreign
 // codes degrade to a generic error instead of being dropped).

@@ -22,6 +22,7 @@
 #include "pattern/evaluator.h"
 #include "pattern/pattern_parser.h"
 #include "schema/schema.h"
+#include "serve/framing.h"
 #include "serve/json.h"
 #include "update/update_class.h"
 #include "xml/xml_io.h"
@@ -193,6 +194,55 @@ void Server::Stop() {
   RTP_LOG(INFO) << "rtpd stopped (" << options_.socket_path << ")";
 }
 
+void Server::Drain(int grace_ms) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    Stop();
+    return;
+  }
+  RTP_OBS_COUNT("serve.drain.started");
+  RTP_LOG(INFO) << "rtpd draining (" << options_.socket_path << ", grace "
+                << grace_ms << "ms)";
+  // New connects must fail immediately: removing the path leaves existing
+  // connections (and anything already in the listen backlog) untouched
+  // while clients attempting fresh connects get a structured UNAVAILABLE.
+  ::unlink(options_.socket_path.c_str());
+  int64_t deadline_ns =
+      guard::MonotonicNowNs() + int64_t{grace_ms} * 1'000'000;
+  while (guard::MonotonicNowNs() < deadline_ns) {
+    bool any_live = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& conn : connections_) {
+        if (!conn->done.load(std::memory_order_acquire)) {
+          any_live = true;
+          break;
+        }
+      }
+    }
+    if (!any_live) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        // Grace expired with work still in flight; Stop() below severs it.
+        RTP_OBS_COUNT("serve.drain.forced");
+        break;
+      }
+    }
+  }
+  Stop();
+  RTP_OBS_COUNT("serve.drain.completed");
+}
+
+int64_t Server::RetryAfterMsHint() const {
+  size_t depth = pool_ != nullptr ? pool_->queue_depth() : 0;
+  return std::min<int64_t>(static_cast<int64_t>(depth) + 1,
+                           options_.max_retry_after_ms);
+}
+
 void Server::AcceptLoop() {
   while (true) {
     struct pollfd fds[2];
@@ -244,45 +294,71 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(Connection* conn) {
-  std::string buffer;
-  bool skipping = false;  // discarding the tail of an oversized line
+  // Framing is tolerant of arbitrarily torn input: bytes arrive in any
+  // chunking (tests split one request across many delayed writes) and the
+  // framer reassembles complete lines, bounding memory for oversized ones.
+  LineFramer framer(options_.max_line_bytes);
   bool alive = true;
   char chunk[4096];
+  int64_t last_activity_ns = guard::MonotonicNowNs();
   while (alive) {
-    size_t nl;
-    while (alive && (nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (skipping) {
-        skipping = false;
+    while (alive) {
+      std::optional<LineFramer::Line> line = framer.Next();
+      if (!line.has_value()) break;
+      if (line->oversized) {
+        RTP_OBS_COUNT("serve.errors.oversized");
+        std::string response =
+            MakeErrorResponse(
+                0, ResourceExhaustedError(
+                       "request line exceeds " +
+                       std::to_string(options_.max_line_bytes) + " bytes"))
+                .Serialize();
+        response.push_back('\n');
+        alive = SendAll(conn->fd, response);
         continue;
       }
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = HandleLine(conn, line);
+      std::string response = HandleLine(conn, line->text);
       if (response.empty()) continue;  // reply already sent (shutdown)
       response.push_back('\n');
       alive = SendAll(conn->fd, response);
+      last_activity_ns = guard::MonotonicNowNs();
     }
     if (!alive) break;
-    if (buffer.size() > options_.max_line_bytes) {
-      RTP_OBS_COUNT("serve.errors.oversized");
-      std::string response =
-          MakeErrorResponse(
-              0, ResourceExhaustedError(
-                     "request line exceeds " +
-                     std::to_string(options_.max_line_bytes) + " bytes"))
-              .Serialize();
-      response.push_back('\n');
-      alive = SendAll(conn->fd, response);
-      buffer.clear();
-      skipping = true;
-      if (!alive) break;
+    // Block with a tick so the thread notices drain and idle timeouts
+    // even when the peer sends nothing.
+    struct pollfd p;
+    p.fd = conn->fd;
+    p.events = POLLIN | POLLRDHUP;
+    p.revents = 0;
+    int ready = ::poll(&p, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Idle tick. A draining server closes connections with nothing
+      // buffered (in-flight requests already finished above).
+      if (draining_.load(std::memory_order_acquire) &&
+          !framer.HasBufferedData()) {
+        break;
+      }
+      if (options_.idle_timeout_ms > 0 &&
+          guard::MonotonicNowNs() - last_activity_ns >
+              int64_t{options_.idle_timeout_ms} * 1'000'000) {
+        RTP_OBS_COUNT("serve.connections.idle_reaped");
+        break;
+      }
+      continue;
     }
     ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;  // disconnect, error, or Stop()'s shutdown()
-    buffer.append(chunk, static_cast<size_t>(n));
+    framer.Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    last_activity_ns = guard::MonotonicNowNs();
   }
+  // The fd itself is closed by the acceptor's reap (or Stop), but the
+  // peer must see EOF now — an idle-reaped or drained connection would
+  // otherwise look alive until the next accept.
+  ::shutdown(conn->fd, SHUT_RDWR);
   RTP_OBS_COUNT("serve.connections.closed");
   conn->done.store(true, std::memory_order_release);
 }
@@ -335,7 +411,10 @@ std::string Server::HandleLine(Connection* conn, const std::string& line) {
     };
     auto pending = std::make_shared<Pending>();
     auto shared_req = std::make_shared<Request>(std::move(req));
+    // queue_capacity == 0 is "always shed" (the pool itself clamps its
+    // queue to >= 1, so the degenerate config is enforced here).
     bool admitted =
+        options_.queue_capacity > 0 &&
         pool_->TrySubmit([this, conn, shared_req, arrival_ns, pending] {
           JsonValue result = HandleRequest(conn, *shared_req, arrival_ns);
           std::lock_guard<std::mutex> lock(pending->m);
@@ -345,9 +424,7 @@ std::string Server::HandleLine(Connection* conn, const std::string& line) {
         });
     if (!admitted) {
       RTP_OBS_COUNT("serve.requests.shed");
-      response = MakeErrorResponse(
-          shared_req->id,
-          ResourceExhaustedError("server overloaded: request queue is full"));
+      response = MakeShedResponse(shared_req->id, RetryAfterMsHint());
     } else {
       // Await completion while watching the socket: a peer that hangs up
       // mid-request cancels the connection token, and every guard wired

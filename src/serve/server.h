@@ -35,6 +35,7 @@
 // like rtp_cli), which is what the end-to-end battery in
 // tests/serve_test.cc checks against its in-process oracle.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -56,7 +57,17 @@ struct ServerOptions {
   // Worker threads for request execution (not connection I/O).
   int jobs = 2;
   // Tasks admitted but not yet started before TrySubmit sheds load.
+  // 0 is the degenerate always-shed configuration: every pooled op is
+  // refused with a shed response (used by the overload transcript and
+  // tests; a real deployment wants a positive capacity).
   size_t queue_capacity = 1024;
+  // A connection that stays silent this long is reaped (closed) by its
+  // connection thread, so stalled peers cannot pin threads forever.
+  // 0 = never reap (the historical behavior; in-process tests keep it).
+  int idle_timeout_ms = 0;
+  // Ceiling for the retry_after_ms hint carried by shed responses (the
+  // hint itself scales with the instantaneous queue depth).
+  int max_retry_after_ms = 1000;
   // A request line longer than this is rejected with RESOURCE_EXHAUSTED
   // and skipped (the connection survives).
   size_t max_line_bytes = 1 << 20;
@@ -86,6 +97,13 @@ class Server {
   // guarded work exits promptly), joins all threads, removes the socket
   // file. Safe to call from any thread; idempotent.
   void Stop();
+
+  // Graceful drain (SIGTERM path): immediately unlinks the socket so new
+  // connects fail, lets in-flight requests finish and idle connections
+  // close on their next poll tick, waits up to grace_ms for every
+  // connection to wind down, then Stop()s (forcing any stragglers).
+  // Safe to call from any thread; idempotent (later calls just Stop()).
+  void Drain(int grace_ms);
 
   const std::string& socket_path() const { return options_.socket_path; }
 
@@ -119,6 +137,10 @@ class Server {
   JsonValue HandleDrop(Tenant& tenant, const Request& req);
   JsonValue HandleQuota(Tenant& tenant, const Request& req);
 
+  // Backoff hint for shed responses: grows with the instantaneous pool
+  // queue depth, capped at options_.max_retry_after_ms.
+  int64_t RetryAfterMsHint() const;
+
   const ServerOptions options_;
 
   int listen_fd_ = -1;
@@ -130,6 +152,7 @@ class Server {
 
   std::mutex mu_;
   std::condition_variable stop_cv_;
+  std::atomic<bool> draining_{false};
   bool stop_requested_ = false;
   bool stopped_ = false;  // Stop() ran to completion
   std::thread accept_thread_;

@@ -58,15 +58,24 @@ StatusOr<std::unique_ptr<Scope>> BuildScope(const WorkloadSpec& spec,
 class Worker {
  public:
   Worker(const RunnerOptions& options, uint64_t thread_seed, int thread_index,
-         Clock::time_point start, Clock::time_point deadline)
+         Clock::time_point start, Clock::time_point deadline,
+         const serve::ClientOptions& client_options,
+         const chaos::ChaosConfig& chaos_config)
       : options_(options),
         rng_(thread_seed),
         thread_index_(thread_index),
         start_(start),
-        deadline_(deadline) {}
+        deadline_(deadline),
+        client_options_(client_options) {
+    if (chaos_config.enabled()) {
+      plan_ = chaos::FaultPlan(chaos_config,
+                               static_cast<uint64_t>(thread_index));
+    }
+  }
 
   Status Connect() {
-    auto client = serve::Client::Connect(options_.socket_path);
+    auto client = serve::Client::Connect(options_.socket_path,
+                                         client_options_);
     if (!client.ok()) return client.status();
     client_.emplace(std::move(client).value());
     return Status::OK();
@@ -82,6 +91,10 @@ class Worker {
   WorkloadStats& stats() { return stats_; }
   uint64_t ops() const { return ops_; }
   uint64_t errors() const { return errors_; }
+  uint64_t transport_errors() const { return transport_errors_; }
+  uint64_t faults_injected() const { return plan_.injected(); }
+  const std::string& first_error_node() const { return first_error_node_; }
+  const Status& first_error() const { return first_error_; }
   bool stopped() const { return stopped_; }
 
  private:
@@ -177,6 +190,9 @@ class Worker {
   void ExecOp(Scope& scope, const WorkloadNode& node) {
     serve::CallOptions call_options;
     call_options.budget = node.budget;
+    // One fault draw per op whether or not one fires, so the injection
+    // sequence depends only on (chaos.seed, thread index, op index).
+    call_options.fault = plan_.Draw();
     const std::string& tenant = scope.spec->tenant;
     std::string payload = node.generator != kNoNode
                               ? scope.generators[node.generator]->Next(&rng_)
@@ -209,10 +225,23 @@ class Worker {
     auto t1 = Clock::now();
     double latency_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
-    stats_.Node(scope.prefix + node.name).Record(latency_us, status.ok());
+    NodeStats& cell = stats_.Node(scope.prefix + node.name);
+    cell.Record(latency_us, status.ok());
+    if (!call_options.fault.none()) {
+      ++cell.faults[static_cast<size_t>(call_options.fault.kind)];
+    }
     ++ops_;
     if (!status.ok()) {
       ++errors_;
+      if (status.code() == StatusCode::kUnavailable ||
+          status.code() == StatusCode::kTransportError) {
+        ++cell.transport_errors;
+        ++transport_errors_;
+      }
+      if (first_error_node_.empty()) {
+        first_error_node_ = scope.prefix + node.name;
+        first_error_ = status;
+      }
       RTP_OBS_COUNT("workload.op_errors");
     }
     RTP_OBS_COUNT("workload.ops");
@@ -225,10 +254,15 @@ class Worker {
   int thread_index_;
   Clock::time_point start_;
   Clock::time_point deadline_;
+  serve::ClientOptions client_options_;
+  chaos::FaultPlan plan_;  // empty (never fires) without a chaos block
   std::optional<serve::Client> client_;
   WorkloadStats stats_;
   uint64_t ops_ = 0;
   uint64_t errors_ = 0;
+  uint64_t transport_errors_ = 0;
+  std::string first_error_node_;
+  Status first_error_;
   bool stopped_ = false;
 };
 
@@ -261,11 +295,22 @@ StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec,
 
   RunResult result;
 
+  // Client configuration: plain blocking clients for clean runs; when the
+  // spec carries a chaos block the measured-phase clients get deadlines
+  // and retries so every injected fault resolves into either a recovered
+  // call or a structured error — never a hang.
+  serve::ClientOptions measured_client;
+  if (spec.chaos.enabled()) {
+    measured_client.call_timeout_ms = spec.chaos_call_timeout_ms;
+    measured_client.retry.max_attempts = spec.chaos_max_attempts;
+  }
+
   // Setup phase: one dedicated connection, the root seed itself, no
-  // pacing — deterministic regardless of thread count.
+  // pacing, no chaos — deterministic regardless of thread count.
   if (!spec.setup.empty()) {
     Worker setup_worker(options, options.seed, /*thread_index=*/0, start,
-                        deadline);
+                        deadline, serve::ClientOptions{},
+                        chaos::ChaosConfig{});
     RTP_RETURN_IF_ERROR(setup_worker.Connect());
     RTP_ASSIGN_OR_RETURN(std::unique_ptr<Scope> setup_scope,
                          BuildScope(spec, ""));
@@ -273,6 +318,11 @@ StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec,
     result.stats.Merge(setup_worker.stats());
     result.ops += setup_worker.ops();
     result.errors += setup_worker.errors();
+    result.transport_errors += setup_worker.transport_errors();
+    if (result.first_error_node.empty()) {
+      result.first_error_node = setup_worker.first_error_node();
+      result.first_error = setup_worker.first_error();
+    }
   }
 
   // Measured phase: connect every worker before any of them starts, so
@@ -283,7 +333,8 @@ StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec,
   scopes.reserve(static_cast<size_t>(options.threads));
   for (int i = 0; i < options.threads; ++i) {
     workers.push_back(std::make_unique<Worker>(
-        options, seeds[static_cast<size_t>(i)], i, start, deadline));
+        options, seeds[static_cast<size_t>(i)], i, start, deadline,
+        measured_client, spec.chaos));
     RTP_RETURN_IF_ERROR(workers.back()->Connect());
     RTP_ASSIGN_OR_RETURN(std::unique_ptr<Scope> scope, BuildScope(spec, ""));
     scopes.push_back(std::move(scope));
@@ -302,6 +353,12 @@ StatusOr<RunResult> RunWorkload(const WorkloadSpec& spec,
     result.stats.Merge(worker->stats());
     result.ops += worker->ops();
     result.errors += worker->errors();
+    result.transport_errors += worker->transport_errors();
+    result.faults_injected += worker->faults_injected();
+    if (result.first_error_node.empty()) {
+      result.first_error_node = worker->first_error_node();
+      result.first_error = worker->first_error();
+    }
     result.truncated = result.truncated || worker->stopped();
   }
   result.elapsed_s =

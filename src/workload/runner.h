@@ -14,6 +14,14 @@
 // reproducibility property the load CI leg and the determinism test in
 // tests/workload_runner_test.cc enforce. Duration-based loops and the
 // duration_s cap trade that determinism for wall-clock control.
+//
+// Chaos (docs/ROBUSTNESS.md): when the spec carries a chaos block, each
+// measured-phase worker owns a chaos::FaultPlan seeded from (chaos.seed,
+// thread index) and draws exactly one fault decision per op, applied to
+// the call's first attempt through the resilient client (configured from
+// the spec's max_attempts / call_timeout_ms knobs). The same (spec, seed,
+// threads) triple therefore reproduces identical per-node injection
+// counts — pinned by ToCountsText and the chaos CI leg.
 
 #include <cstdint>
 #include <string>
@@ -42,6 +50,17 @@ struct RunResult {
   WorkloadStats stats;
   uint64_t ops = 0;     // op-node executions, successful or not
   uint64_t errors = 0;  // non-OK responses
+  // Of `errors`, transport failures (UNAVAILABLE / TRANSPORT_ERROR after
+  // the client's retries) vs op-level error responses; rtp_load maps the
+  // split onto distinct exit codes.
+  uint64_t transport_errors = 0;
+  // Chaos faults injected across all threads (0 without a chaos block).
+  uint64_t faults_injected = 0;
+  // The first failing op (lowest thread index, that thread's first):
+  // stats key of the node plus the Status it yielded. Empty/OK when the
+  // run was clean.
+  std::string first_error_node;
+  Status first_error;
   double elapsed_s = 0;
   // True when the duration_s cap stopped the run before the spec
   // completed (per-node counts are then not seed-reproducible).

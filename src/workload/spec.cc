@@ -430,12 +430,79 @@ StatusOr<WorkloadSpec> ParseSpecObject(const JsonValue& root_value,
   }
   RTP_RETURN_IF_ERROR(CheckKeys(
       root_value, "workload spec",
-      {"name", "tenant", "root", "setup", "nodes", "generators"}));
+      {"name", "tenant", "root", "setup", "nodes", "generators", "chaos"}));
 
   WorkloadSpec spec;
   spec.name = root_value.FindString("name");
   if (spec.name.empty()) return InvalidArgumentError("spec needs a 'name'");
   spec.tenant = root_value.FindString("tenant", "load");
+
+  if (const JsonValue* chaos_v = root_value.Find("chaos")) {
+    if (nesting > 0) {
+      return InvalidArgumentError(
+          "'chaos' only applies to the top-level spec");
+    }
+    if (!chaos_v->is_object()) {
+      return InvalidArgumentError("'chaos' must be an object");
+    }
+    RTP_RETURN_IF_ERROR(CheckKeys(
+        *chaos_v, "chaos",
+        {"seed", "connect_refused", "read_stall", "write_stall", "torn_write",
+         "corrupt_byte", "premature_close", "response_delay", "stall_ms",
+         "delay_ms", "max_attempts", "call_timeout_ms"}));
+    if (const JsonValue* v = chaos_v->Find("seed")) {
+      RTP_ASSIGN_OR_RETURN(int64_t seed,
+                           RequireNonNegativeInt(*v, "chaos: seed"));
+      spec.chaos.seed = static_cast<uint64_t>(seed);
+    }
+    struct RateField {
+      const char* key;
+      uint32_t* slot;
+    };
+    const RateField rate_fields[] = {
+        {"connect_refused", &spec.chaos.connect_refused},
+        {"read_stall", &spec.chaos.read_stall},
+        {"write_stall", &spec.chaos.write_stall},
+        {"torn_write", &spec.chaos.torn_write},
+        {"corrupt_byte", &spec.chaos.corrupt_byte},
+        {"premature_close", &spec.chaos.premature_close},
+        {"response_delay", &spec.chaos.response_delay},
+        {"stall_ms", &spec.chaos.stall_ms},
+        {"delay_ms", &spec.chaos.delay_ms},
+    };
+    for (const RateField& field : rate_fields) {
+      if (const JsonValue* v = chaos_v->Find(field.key)) {
+        RTP_ASSIGN_OR_RETURN(
+            int64_t parsed,
+            RequireNonNegativeInt(*v, std::string("chaos: ") + field.key));
+        if (parsed > 10000) {
+          return InvalidArgumentError(std::string("chaos: ") + field.key +
+                                      " must be at most 10000");
+        }
+        *field.slot = static_cast<uint32_t>(parsed);
+      }
+    }
+    if (const JsonValue* v = chaos_v->Find("max_attempts")) {
+      RTP_ASSIGN_OR_RETURN(int64_t attempts,
+                           RequireNonNegativeInt(*v, "chaos: max_attempts"));
+      if (attempts == 0 || attempts > 16) {
+        return InvalidArgumentError("chaos: max_attempts must be in [1, 16]");
+      }
+      spec.chaos_max_attempts = static_cast<int>(attempts);
+    }
+    if (const JsonValue* v = chaos_v->Find("call_timeout_ms")) {
+      RTP_ASSIGN_OR_RETURN(
+          int64_t timeout, RequireNonNegativeInt(*v, "chaos: call_timeout_ms"));
+      if (timeout > (int64_t{1} << 31)) {
+        return InvalidArgumentError("chaos: call_timeout_ms is too large");
+      }
+      spec.chaos_call_timeout_ms = static_cast<int>(timeout);
+    }
+    Status valid = spec.chaos.Validate();
+    if (!valid.ok()) {
+      return InvalidArgumentError("chaos: " + valid.message());
+    }
+  }
 
   if (const JsonValue* generators = root_value.Find("generators")) {
     if (!generators->is_object()) {

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/status.h"
 #include "fuzz/generators.h"
 #include "guard/guard.h"
@@ -112,6 +113,15 @@ struct WorkloadSpec {
   std::vector<size_t> setup;
   std::vector<WorkloadNode> nodes;
   std::vector<GeneratorSpec> generators;
+
+  // Chaos block (docs/WORKLOADS.md "Chaos"): fault-injection rates for
+  // the measured phase (setup always runs clean). Only the top-level
+  // spec's block applies — the runner builds one FaultPlan per thread
+  // from (chaos.seed, thread index). When enabled, workers use a
+  // resilient client configured with the knobs below.
+  chaos::ChaosConfig chaos;
+  int chaos_max_attempts = 3;
+  int chaos_call_timeout_ms = 2000;
 
   const WorkloadNode& node(size_t i) const { return nodes[i]; }
   // Index of the named node, or kNoNode.

@@ -38,6 +38,10 @@ void NodeStats::Merge(const NodeStats& other) {
   if (other.max_us > max_us) max_us = other.max_us;
   count += other.count;
   errors += other.errors;
+  transport_errors += other.transport_errors;
+  for (int i = 0; i < chaos::kNumFaultKinds; ++i) {
+    faults[static_cast<size_t>(i)] += other.faults[static_cast<size_t>(i)];
+  }
   sum_us += other.sum_us;
   sum_sq_us += other.sum_sq_us;
   latency_ns.Merge(other.latency_ns);
@@ -142,6 +146,13 @@ std::string WorkloadStats::ToCountsText() const {
   std::ostringstream out;
   for (const auto& [name, stats] : nodes_) {
     out << name << " " << stats.count << "\n";
+    for (int i = 1; i < chaos::kNumFaultKinds; ++i) {
+      uint64_t injected = stats.faults[static_cast<size_t>(i)];
+      if (injected == 0) continue;
+      out << name << ".fault."
+          << chaos::FaultKindName(static_cast<chaos::FaultKind>(i)) << " "
+          << injected << "\n";
+    }
   }
   return out.str();
 }

@@ -13,10 +13,12 @@
 // thread-index order after the join — so merged results are deterministic
 // for a deterministic op sequence.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "chaos/chaos.h"
 #include "obs/metrics.h"
 
 namespace rtp::workload {
@@ -24,6 +26,11 @@ namespace rtp::workload {
 struct NodeStats {
   uint64_t count = 0;   // executions, successful or not
   uint64_t errors = 0;  // non-OK responses (any status)
+  // Of `errors`, how many were transport failures (UNAVAILABLE /
+  // TRANSPORT_ERROR after retries) rather than op-level responses.
+  uint64_t transport_errors = 0;
+  // Chaos faults injected into this node's calls, by FaultKind.
+  std::array<uint64_t, chaos::kNumFaultKinds> faults{};
   double sum_us = 0;
   double sum_sq_us = 0;
   double min_us = 0;
@@ -69,7 +76,9 @@ class WorkloadStats {
                                double elapsed_s) const;
 
   // "<node> <count>" per line, sorted by node name — the reproducibility
-  // artifact the load CI leg diffs between two same-seed runs.
+  // artifact the load CI leg diffs between two same-seed runs. Nodes with
+  // injected chaos faults add "<node>.fault.<kind> <count>" lines, so the
+  // chaos leg's same-seed diff also pins per-node injection counts.
   std::string ToCountsText() const;
 
  private:

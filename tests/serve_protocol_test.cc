@@ -30,13 +30,26 @@ std::string TempSocketPath() {
          std::to_string(counter.fetch_add(1)) + ".sock";
 }
 
-std::vector<std::string> TranscriptFiles() {
+struct TranscriptCase {
+  std::string name;
+  ServerOptions options;  // socket_path filled in per replay
+};
+
+std::vector<TranscriptCase> TranscriptFiles() {
   // Transcript set is fixed (additions come with protocol changes), so an
   // explicit list keeps failures attributable without directory iteration.
+  // Each transcript picks the server configuration it documents:
+  // overload.txt runs the degenerate always-shed config so the shed
+  // envelope (with its retry_after_ms hint) is pinned on the wire.
+  ServerOptions defaults;
+  ServerOptions always_shed;
+  always_shed.queue_capacity = 0;
+  always_shed.jobs = 1;
   return {
-      "session.txt",
-      "errors.txt",
-      "budget.txt",
+      {"session.txt", defaults},
+      {"errors.txt", defaults},
+      {"budget.txt", defaults},
+      {"overload.txt", always_shed},
   };
 }
 
@@ -94,14 +107,15 @@ TEST(ServeProtocolTest, RequestEncodingIsPinned) {
 }
 
 TEST(ServeProtocolTest, GoldenTranscriptsReplay) {
-  for (const std::string& name : TranscriptFiles()) {
+  for (const TranscriptCase& transcript : TranscriptFiles()) {
+    const std::string& name = transcript.name;
     SCOPED_TRACE(name);
     const std::string path =
         std::string(RTP_SERVE_TRANSCRIPT_DIR) + "/" + name;
     std::vector<TranscriptStep> steps = ParseTranscript(path);
     ASSERT_FALSE(steps.empty());
 
-    ServerOptions options;
+    ServerOptions options = transcript.options;
     options.socket_path = TempSocketPath();
     auto server_or = Server::Start(options);
     ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();

@@ -31,6 +31,13 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(ResourceExhaustedError("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(TransportError("x").code(), StatusCode::kTransportError);
+}
+
+TEST(StatusTest, TransportStatusesRenderTheirCodeNames) {
+  EXPECT_EQ(UnavailableError("down").ToString(), "UNAVAILABLE: down");
+  EXPECT_EQ(TransportError("torn").ToString(), "TRANSPORT_ERROR: torn");
 }
 
 TEST(StatusTest, ResourceStatusesRenderTheirCodeNames) {

@@ -317,6 +317,25 @@ TEST(WorkloadSpecTest, GoldenSoakSpecParses) {
   EXPECT_GT(main_node.duration_s, 0);
 }
 
+TEST(WorkloadSpecTest, GoldenChaosSpecParses) {
+  auto spec = LoadWorkloadSpecFile(std::string(RTP_EXAMPLES_WORKLOADS_DIR) +
+                                   "/chaos.json");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->chaos.enabled());
+  // The chaos CI leg relies on the spec injecting every failing kind plus
+  // the benign perturbations — keep all seven rates nonzero.
+  EXPECT_GT(spec->chaos.connect_refused, 0u);
+  EXPECT_GT(spec->chaos.read_stall, 0u);
+  EXPECT_GT(spec->chaos.write_stall, 0u);
+  EXPECT_GT(spec->chaos.torn_write, 0u);
+  EXPECT_GT(spec->chaos.corrupt_byte, 0u);
+  EXPECT_GT(spec->chaos.premature_close, 0u);
+  EXPECT_GT(spec->chaos.response_delay, 0u);
+  EXPECT_TRUE(spec->chaos.Validate().ok());
+  EXPECT_GT(spec->chaos_max_attempts, 1);
+  EXPECT_GT(spec->chaos_call_timeout_ms, 0);
+}
+
 // The pluggable generator registry: a custom kind registers, resolves
 // during parse, and produces payloads (the codes-workload extension
 // point).

@@ -1,0 +1,334 @@
+// rtp_chaos_proxy — wire-level fault injection between a client and a
+// live rtpd (docs/ROBUSTNESS.md "Fault model").
+//
+//   rtp_chaos_proxy --listen=PATH --upstream=PATH [--seed=S]
+//                   [--connect-refused=BP] [--read-stall=BP]
+//                   [--write-stall=BP] [--torn-write=BP]
+//                   [--corrupt-byte=BP] [--premature-close=BP]
+//                   [--response-delay=BP] [--stall-ms=N] [--delay-ms=N]
+//
+// Accepts AF_UNIX connections on --listen, connects each to the real
+// daemon at --upstream, and pumps bytes both ways. Request-direction
+// chunks are forwarded through the same chaos machinery the in-process
+// client shim uses: each chunk draws one FaultDecision from a
+// per-connection FaultPlan (seeded from --seed and the connection index,
+// so a fixed seed reproduces the same wire schedule), and the decided
+// fault is applied at the byte level — torn forwards, corrupted bytes,
+// mid-chunk stalls, premature closes, delayed responses. Rates are basis
+// points per forwarded request chunk.
+//
+// The proxy never touches response bytes except to delay them: rtpd's
+// responses are trusted; the chaos CI leg is about proving the CLIENT
+// survives a hostile wire.
+//
+// On SIGINT/SIGTERM the proxy prints per-kind injection counts to stderr
+// ("chaos_proxy: <kind> <count>") and exits 0.
+//
+// Exit codes: 0 clean shutdown, 2 usage or startup errors.
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
+
+std::atomic<uint64_t> g_counts[rtp::chaos::kNumFaultKinds];
+
+int Usage(const char* detail = nullptr) {
+  if (detail != nullptr) std::fprintf(stderr, "error: %s\n", detail);
+  std::fprintf(
+      stderr,
+      "usage: rtp_chaos_proxy --listen=PATH --upstream=PATH [flags]\n"
+      "flags: --seed=S             fault schedule seed (default 1)\n"
+      "       --connect-refused=BP refuse the accepted connection\n"
+      "       --read-stall=BP      stall before forwarding the request\n"
+      "       --write-stall=BP     pause mid-request-chunk\n"
+      "       --torn-write=BP      split the request chunk across writes\n"
+      "       --corrupt-byte=BP    flip one request byte\n"
+      "       --premature-close=BP close both sides after the request\n"
+      "       --response-delay=BP  delay the matching response bytes\n"
+      "       --stall-ms=N         stall length (default 20)\n"
+      "       --delay-ms=N         delay length (default 5)\n"
+      "rates are basis points (per 10000 request chunks), summing <= "
+      "10000\n");
+  return 2;
+}
+
+int ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return -1;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool ForwardAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// One proxied connection: the request pump applies wire faults, the
+// response pump forwards verbatim (with the delay the request pump asks
+// for via delay_ms). Either side closing tears down both.
+struct Session {
+  int client_fd;
+  int upstream_fd;
+  rtp::chaos::FaultPlan plan;
+  std::atomic<uint32_t> response_delay_ms{0};
+
+  void CloseBoth() {
+    ::shutdown(client_fd, SHUT_RDWR);
+    ::shutdown(upstream_fd, SHUT_RDWR);
+  }
+
+  // client -> upstream, one fault decision per chunk.
+  void PumpRequests() {
+    char chunk[4096];
+    while (true) {
+      ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      rtp::chaos::FaultDecision fault = plan.Draw();
+      if (!fault.none()) {
+        g_counts[static_cast<size_t>(fault.kind)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      using rtp::chaos::FaultKind;
+      switch (fault.kind) {
+        case FaultKind::kConnectRefused:
+        case FaultKind::kPrematureClose:
+          // At the wire there is no connect to refuse anymore; both kinds
+          // degrade to severing the session under the client.
+          CloseBoth();
+          return;
+        case FaultKind::kReadStall:
+          rtp::chaos::SleepMs(fault.stall_ms);
+          break;
+        case FaultKind::kResponseDelay:
+          response_delay_ms.store(fault.delay_ms, std::memory_order_relaxed);
+          break;
+        default:
+          break;
+      }
+      std::string line(chunk, static_cast<size_t>(n));
+      // ShimSendLine frames with '\n'; the chunk already carries its own
+      // framing, so hand it the chunk minus the byte the shim re-adds.
+      bool sent;
+      if ((fault.kind == FaultKind::kTornWrite ||
+           fault.kind == FaultKind::kWriteStall ||
+           fault.kind == FaultKind::kCorruptByte) &&
+          !line.empty() && line.back() == '\n') {
+        line.pop_back();
+        sent = rtp::chaos::ShimSendLine(upstream_fd, line, fault).ok();
+      } else {
+        sent = ForwardAll(upstream_fd, chunk, static_cast<size_t>(n));
+      }
+      if (!sent) break;
+    }
+    CloseBoth();
+  }
+
+  // upstream -> client, verbatim except for the decided delay.
+  void PumpResponses() {
+    char chunk[4096];
+    while (true) {
+      ssize_t n = ::recv(upstream_fd, chunk, sizeof(chunk), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      uint32_t delay =
+          response_delay_ms.exchange(0, std::memory_order_relaxed);
+      if (delay > 0) rtp::chaos::SleepMs(delay);
+      if (!ForwardAll(client_fd, chunk, static_cast<size_t>(n))) break;
+    }
+    CloseBoth();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_path;
+  std::string upstream_path;
+  rtp::chaos::ChaosConfig config;
+  config.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto parse_count = [arg](const char* prefix) -> long long {
+      const char* value = arg + std::strlen(prefix);
+      char* end = nullptr;
+      long long parsed = std::strtoll(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || parsed < 0) return -1;
+      return parsed;
+    };
+    struct RateFlag {
+      const char* prefix;
+      uint32_t* slot;
+    };
+    const RateFlag rate_flags[] = {
+        {"--connect-refused=", &config.connect_refused},
+        {"--read-stall=", &config.read_stall},
+        {"--write-stall=", &config.write_stall},
+        {"--torn-write=", &config.torn_write},
+        {"--corrupt-byte=", &config.corrupt_byte},
+        {"--premature-close=", &config.premature_close},
+        {"--response-delay=", &config.response_delay},
+        {"--stall-ms=", &config.stall_ms},
+        {"--delay-ms=", &config.delay_ms},
+    };
+    bool matched = false;
+    for (const RateFlag& flag : rate_flags) {
+      if (std::strncmp(arg, flag.prefix, std::strlen(flag.prefix)) == 0) {
+        long long parsed = parse_count(flag.prefix);
+        if (parsed < 0 || parsed > 10000) {
+          return Usage("rate flags require an integer in [0, 10000]");
+        }
+        *flag.slot = static_cast<uint32_t>(parsed);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::strncmp(arg, "--listen=", 9) == 0) {
+      listen_path = arg + 9;
+    } else if (std::strncmp(arg, "--upstream=", 11) == 0) {
+      upstream_path = arg + 11;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      long long seed = parse_count("--seed=");
+      if (seed < 0) return Usage("--seed requires a nonnegative integer");
+      config.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Usage(("unknown flag '" + std::string(arg) + "'").c_str());
+    }
+  }
+  if (listen_path.empty()) return Usage("--listen is required");
+  if (upstream_path.empty()) return Usage("--upstream is required");
+  if (!config.Validate().ok()) {
+    return Usage("fault rates must sum to at most 10000");
+  }
+
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  if (listen_path.size() >= sizeof(addr.sun_path)) {
+    return Usage("--listen path exceeds the AF_UNIX limit");
+  }
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "error: socket(): %s\n", strerror(errno));
+    return 2;
+  }
+  ::unlink(listen_path.c_str());
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, listen_path.c_str(), listen_path.size());
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::fprintf(stderr, "error: bind/listen('%s'): %s\n",
+                 listen_path.c_str(), strerror(errno));
+    ::close(listen_fd);
+    return 2;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::fprintf(stderr, "rtp_chaos_proxy: %s -> %s (seed %llu)\n",
+               listen_path.c_str(), upstream_path.c_str(),
+               static_cast<unsigned long long>(config.seed));
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<std::thread> pumps;
+  uint64_t next_stream = 0;
+
+  while (g_signal == 0) {
+    struct pollfd p;
+    p.fd = listen_fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    int ready = ::poll(&p, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    int upstream_fd = ConnectUnix(upstream_path);
+    if (upstream_fd < 0) {
+      // Upstream gone: the refused connect is itself the fault the
+      // client must absorb.
+      ::close(client_fd);
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    session->client_fd = client_fd;
+    session->upstream_fd = upstream_fd;
+    session->plan = rtp::chaos::FaultPlan(config, next_stream++);
+    Session* raw = session.get();
+    std::lock_guard<std::mutex> lock(mu);
+    sessions.push_back(std::move(session));
+    pumps.emplace_back([raw] { raw->PumpRequests(); });
+    pumps.emplace_back([raw] { raw->PumpResponses(); });
+  }
+
+  ::close(listen_fd);
+  ::unlink(listen_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& session : sessions) session->CloseBoth();
+  }
+  for (std::thread& t : pumps) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& session : sessions) {
+      ::close(session->client_fd);
+      ::close(session->upstream_fd);
+    }
+  }
+  for (int kind = 1; kind < rtp::chaos::kNumFaultKinds; ++kind) {
+    uint64_t count =
+        g_counts[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    std::fprintf(
+        stderr, "chaos_proxy: %s %llu\n",
+        rtp::chaos::FaultKindName(static_cast<rtp::chaos::FaultKind>(kind)),
+        static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -1,13 +1,20 @@
 // rtpd — resident multi-tenant query daemon (docs/SERVING.md).
 //
 //   rtpd --socket=PATH [--jobs=N] [--queue-capacity=N]
-//        [--max-line-bytes=N] [--deadline-ms=N] [--max-states=N]
+//        [--max-line-bytes=N] [--idle-timeout-ms=N] [--drain-grace-ms=N]
+//        [--max-retry-after-ms=N] [--deadline-ms=N] [--max-states=N]
 //        [--max-steps=N] [--max-memory-mb=N] [--log-level=LEVEL]
 //
 // Serves the line-delimited JSON protocol of src/serve/protocol.h on a
 // local AF_UNIX socket until it receives a shutdown request, SIGINT, or
 // SIGTERM. The budget flags set the server-wide default applied to
 // requests that carry no budget and whose tenant has no quota.
+//
+// SIGTERM drains gracefully (docs/ROBUSTNESS.md): the socket path is
+// removed immediately so new connects fail, in-flight requests finish,
+// and only after --drain-grace-ms are stragglers severed. SIGINT and the
+// shutdown op stop immediately (in-flight work still completes; the
+// guard cancel tokens fire for abandoned requests).
 //
 // Exit codes: 0 clean shutdown, 2 usage or startup error.
 
@@ -37,6 +44,12 @@ int Usage(const char* detail = nullptr) {
                "bound (default 1024)\n"
                "       --max-line-bytes=N  request line size cap "
                "(default 1048576)\n"
+               "       --idle-timeout-ms=N reap connections silent this "
+               "long (default 30000, 0 = never)\n"
+               "       --drain-grace-ms=N  SIGTERM drain window before "
+               "severing stragglers (default 5000)\n"
+               "       --max-retry-after-ms=N cap on the retry_after_ms "
+               "hint in shed responses (default 1000)\n"
                "       --deadline-ms=N     default wall-clock budget per "
                "request\n"
                "       --max-states=N      default automaton-state quota\n"
@@ -59,6 +72,8 @@ int64_t ParseCountFlag(const char* arg, const char* prefix) {
 
 int main(int argc, char** argv) {
   rtp::serve::ServerOptions options;
+  options.idle_timeout_ms = 30000;
+  int drain_grace_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--socket=", 9) == 0) {
@@ -80,6 +95,24 @@ int main(int argc, char** argv) {
         return Usage("--max-line-bytes requires a positive integer");
       }
       options.max_line_bytes = static_cast<size_t>(bytes);
+    } else if (std::strncmp(arg, "--idle-timeout-ms=", 18) == 0) {
+      int64_t ms = ParseCountFlag(arg, "--idle-timeout-ms=");
+      if (ms < 0 || ms > (int64_t{1} << 31)) {
+        return Usage("--idle-timeout-ms requires a nonnegative integer");
+      }
+      options.idle_timeout_ms = static_cast<int>(ms);
+    } else if (std::strncmp(arg, "--drain-grace-ms=", 17) == 0) {
+      int64_t ms = ParseCountFlag(arg, "--drain-grace-ms=");
+      if (ms < 0 || ms > (int64_t{1} << 31)) {
+        return Usage("--drain-grace-ms requires a nonnegative integer");
+      }
+      drain_grace_ms = static_cast<int>(ms);
+    } else if (std::strncmp(arg, "--max-retry-after-ms=", 21) == 0) {
+      int64_t ms = ParseCountFlag(arg, "--max-retry-after-ms=");
+      if (ms < 0 || ms > (int64_t{1} << 31)) {
+        return Usage("--max-retry-after-ms requires a nonnegative integer");
+      }
+      options.max_retry_after_ms = static_cast<int>(ms);
     } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
       options.default_budget.deadline_ms = ParseCountFlag(arg, "--deadline-ms=");
       if (options.default_budget.deadline_ms < 0) {
@@ -136,7 +169,12 @@ int main(int argc, char** argv) {
   while (!server->WaitFor(200)) {
     if (g_signal != 0) break;
   }
-  server->Stop();
+  if (g_signal == SIGTERM) {
+    std::fprintf(stderr, "rtpd: draining (grace %dms)\n", drain_grace_ms);
+    server->Drain(drain_grace_ms);
+  } else {
+    server->Stop();
+  }
   std::fprintf(stderr, "rtpd: stopped\n");
   return 0;
 }

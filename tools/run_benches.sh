@@ -1,18 +1,18 @@
 #!/usr/bin/env bash
 # Runs every bench_* binary in a build tree and concatenates their JSON
-# result lines into BENCH_pr9.json (one JSON object per line) — a
+# result lines into BENCH_pr10.json (one JSON object per line) — a
 # committed baseline tools/bench_compare.py can read.
 #
 # usage: tools/run_benches.sh [build-dir] [output-file] [extra bench args...]
 #
 #   build-dir    defaults to ./build
-#   output-file  defaults to ./BENCH_pr9.json
+#   output-file  defaults to ./BENCH_pr10.json
 #   extra args   passed through to every binary, e.g.
 #                --benchmark_filter=BM_EnumerateR2 --benchmark_min_time=0.1x
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_file="${2:-BENCH_pr9.json}"
+out_file="${2:-BENCH_pr10.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
 bench_dir="$build_dir/bench"

@@ -16,7 +16,7 @@
 #                 code that actually runs concurrently.
 #   perf          one pass over the allowlisted benchmarks in the plain
 #                 (Release) tree, compared against the committed
-#                 BENCH_pr9.json via tools/bench_compare.py (>10% cpu-time
+#                 BENCH_pr10.json via tools/bench_compare.py (>10% cpu-time
 #                 regression fails; see docs/PERFORMANCE.md).
 #   fuzz          -DRTP_FUZZ=ON -DRTP_SANITIZE=address,undefined build of
 #                 the fuzz/ harnesses; replays fuzz/corpus/, then fuzzes
@@ -46,6 +46,18 @@
 #                 diffs the two --counts-out files: same-seed runs must
 #                 produce byte-identical per-node op counts (the
 #                 reproducibility contract of docs/WORKLOADS.md).
+#   chaos         the fault-injection leg (docs/ROBUSTNESS.md). Three
+#                 phases: (1) a real daemon under the committed
+#                 examples/workloads/chaos.json — client-side seeded fault
+#                 injection — twice with one seed, diffing the two
+#                 --counts-out files (which include the per-node
+#                 fault.<kind> injection counts); (2) the smoke spec driven
+#                 through rtp_chaos_proxy with wire-level faults against
+#                 the same daemon, asserting the run completes and the
+#                 daemon still answers afterwards; (3) `ctest -R
+#                 'Chaos|Framer|Overload|Degradation'` in the tsan tree.
+#                 Every phase requires: zero hangs, zero daemon exits,
+#                 every fault retried or surfaced as a structured error.
 #   format        clang-format --dry-run --Werror over src/ tests/ tools/
 #                 fuzz/ (skipped with a notice when clang-format is not
 #                 installed).
@@ -53,7 +65,8 @@
 # usage: tools/run_ci.sh [leg] [build-dir-prefix]
 #
 #   leg               all (default) | plain | asan-ubsan | tsan | perf |
-#                     fuzz | failpoints | obs-off | serve | load | format
+#                     fuzz | failpoints | obs-off | serve | load | chaos |
+#                     format
 #   build-dir-prefix  defaults to ./build-ci; the build trees are
 #                     <prefix>-plain, <prefix>-asan-ubsan, <prefix>-tsan,
 #                     <prefix>-fuzz, <prefix>-failpoints, <prefix>-obs-off.
@@ -63,7 +76,7 @@ set -euo pipefail
 
 leg="all"
 case "${1:-}" in
-  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|serve|load|format)
+  all|plain|asan-ubsan|tsan|perf|fuzz|failpoints|obs-off|serve|load|chaos|format)
     leg="$1"
     shift
     ;;
@@ -104,9 +117,9 @@ run_perf() {
   RTP_BENCH_JSON="$out" "$build_dir/bench/bench_fd_check" \
     --benchmark_filter='(BM_CheckFd1|BM_CheckFd2|BM_CheckFd3|BM_CheckFd5)/4096$' \
     --benchmark_min_time=0.1 >&2
-  echo "==== [perf] comparing against BENCH_pr9.json" >&2
+  echo "==== [perf] comparing against BENCH_pr10.json" >&2
   python3 "$source_dir/tools/bench_compare.py" \
-    "$source_dir/BENCH_pr9.json" "$out"
+    "$source_dir/BENCH_pr10.json" "$out"
 }
 
 run_fuzz() {
@@ -117,13 +130,13 @@ run_fuzz() {
     -DRTP_SANITIZE="address,undefined" > /dev/null
   echo "==== [fuzz] build harnesses" >&2
   cmake --build "$build_dir" -j "$jobs" --target \
-    fuzz_regex fuzz_pattern fuzz_schema fuzz_xml fuzz_differential
+    fuzz_regex fuzz_pattern fuzz_schema fuzz_xml fuzz_differential fuzz_serve
   local scratch
   scratch="$(mktemp -d)"
   # shellcheck disable=SC2064  # expand $scratch now, not at trap time
   trap "rm -rf '$scratch'" RETURN
   local name
-  for name in regex pattern schema xml differential; do
+  for name in regex pattern schema xml differential serve; do
     echo "==== [fuzz] $name: replay fuzz/corpus/$name" >&2
     "$build_dir/fuzz/fuzz_$name" -runs=0 "$source_dir/fuzz/corpus/$name"
     echo "==== [fuzz] $name: ${seconds}s smoke" >&2
@@ -233,6 +246,78 @@ run_load() {
   echo "==== [load] same-seed runs produced identical per-node counts" >&2
 }
 
+# The chaos leg: a real daemon must survive seeded fault schedules from
+# both injection paths — in-process (the workload spec's chaos block) and
+# wire-level (rtp_chaos_proxy) — with every fault either transparently
+# retried or surfaced as a structured error, and identical per-node
+# fault-injection counts across same-seed runs.
+run_chaos() {
+  local build_dir="${prefix}-plain"
+  echo "==== [chaos] configure + build (plain)" >&2
+  cmake -B "$build_dir" -S "$source_dir" -DRTP_SANITIZE="" > /dev/null
+  cmake --build "$build_dir" -j "$jobs" --target \
+    rtpd rtpd_client rtp_load rtp_chaos_proxy
+  local workdir sock front
+  workdir="$(mktemp -d)"
+  sock="$workdir/rtpd.sock"
+  front="$workdir/chaos.sock"
+  echo "==== [chaos] starting rtpd on $sock" >&2
+  "$build_dir/tools/rtpd" --socket="$sock" --jobs=4 \
+    --idle-timeout-ms=30000 &
+  local rtpd_pid=$!
+  # shellcheck disable=SC2064  # expand now: kill what we started
+  trap "kill $rtpd_pid 2>/dev/null; wait $rtpd_pid 2>/dev/null; rm -rf '$workdir'" RETURN
+  local i
+  for i in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "rtpd did not come up" >&2; return 1; }
+
+  local run
+  for run in 1 2; do
+    echo "==== [chaos] in-process injection run $run (chaos.json, seed 42)" >&2
+    "$build_dir/tools/rtp_load" \
+      --spec="$source_dir/examples/workloads/chaos.json" \
+      --socket="$sock" --threads=4 --seed=42 --allow-errors \
+      --counts-out="$workdir/counts$run.txt"
+  done
+  echo "==== [chaos] diffing per-node op + fault counts across runs" >&2
+  diff -u "$workdir/counts1.txt" "$workdir/counts2.txt"
+  grep -q '\.fault\.' "$workdir/counts1.txt" || {
+    echo "chaos.json run injected no faults" >&2; return 1; }
+
+  echo "==== [chaos] wire-level injection through rtp_chaos_proxy" >&2
+  "$build_dir/tools/rtp_chaos_proxy" --listen="$front" --upstream="$sock" \
+    --seed=7 --read-stall=200 --torn-write=300 --corrupt-byte=150 \
+    --premature-close=150 --response-delay=200 --stall-ms=5 --delay-ms=5 &
+  local proxy_pid=$!
+  for i in $(seq 1 50); do
+    [ -S "$front" ] && break
+    sleep 0.1
+  done
+  [ -S "$front" ] || { echo "proxy did not come up" >&2; return 1; }
+  "$build_dir/tools/rtp_load" \
+    --spec="$source_dir/examples/workloads/smoke.json" \
+    --socket="$front" --threads=4 --seed=42 --allow-errors --quiet
+  kill "$proxy_pid" 2>/dev/null
+  wait "$proxy_pid"
+
+  echo "==== [chaos] daemon still answers after both schedules" >&2
+  "$build_dir/tools/rtpd_client" --socket="$sock" load chaosci exam \
+    "$source_dir/examples/data/exam.xml"
+  "$build_dir/tools/rtpd_client" --socket="$sock" shutdown
+  wait "$rtpd_pid"
+
+  local tsan_dir="${prefix}-tsan"
+  echo "==== [chaos] configure + build (tsan)" >&2
+  cmake -B "$tsan_dir" -S "$source_dir" -DRTP_SANITIZE="thread" > /dev/null
+  cmake --build "$tsan_dir" -j "$jobs" --target rtp_serve_tests
+  echo "==== [chaos] ctest -R 'Chaos|Framer|Overload|Degradation' (tsan)" >&2
+  (cd "$tsan_dir" && ctest --output-on-failure --no-tests=error -j "$jobs" \
+    -R 'Chaos|Framer|Overload|Degradation')
+}
+
 run_format() {
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "==== [format] clang-format not installed — skipping" >&2
@@ -254,6 +339,7 @@ case "$leg" in
   failpoints) run_failpoints ;;
   serve)      run_serve ;;
   load)       run_load ;;
+  chaos)      run_chaos ;;
   format)     run_format ;;
   all)
     run_format
@@ -263,6 +349,7 @@ case "$leg" in
     run_leg obs-off    ""                  "" "-DRTP_OBS_DISABLED=ON"
     run_serve
     run_load
+    run_chaos
     run_perf
     run_fuzz
     run_failpoints
